@@ -1,0 +1,127 @@
+"""Section 2.3 attacker model — prefix hijacks against web servers.
+
+The paper motivates the study with an attacker who "is able to
+redirect network traffic destined to the web server by manipulating
+Internet routing".  This bench quantifies, on the built world, how
+much of the topology an origin hijack and a sub-prefix hijack capture
+— and how origin validation at enforcing ASes contains the attack
+(including the paper's point that locally-scoped attacks can harm a
+"specific subset of clients").
+"""
+
+import pytest
+
+from repro.bgp import Announcement, ASRole, HijackScenario
+from repro.net import ASN
+
+
+@pytest.fixture(scope="module")
+def hijack_setup(bench_world):
+    """A hosted victim prefix with a signed ROA, plus a stub attacker."""
+    signed = bench_world.adoption.signed_prefixes
+    victim_prefix, victim_origin = None, None
+    for org in bench_world.organisations:
+        if org.kind.value != "hoster":
+            continue
+        for prefix, origin in sorted(org.prefixes.items()):
+            if prefix in signed and prefix.family == 4 and prefix.length <= 22:
+                victim_prefix, victim_origin = prefix, origin
+                break
+        if victim_prefix:
+            break
+    assert victim_prefix is not None, "world should contain a signed hoster prefix"
+    eyeballs = bench_world.topology.by_role(ASRole.EYEBALL)
+    attacker = eyeballs[-1].asn
+    return victim_prefix, victim_origin, attacker
+
+
+def test_subprefix_hijack_without_rpki(benchmark, bench_world, hijack_setup):
+    victim_prefix, victim_origin, attacker = hijack_setup
+    scenario = HijackScenario(bench_world.topology)
+    sub = victim_prefix.supernet(victim_prefix.length)  # same prefix
+    from repro.net import Prefix
+
+    hijack_prefix = Prefix(4, victim_prefix.value, victim_prefix.length + 2)
+
+    outcome = benchmark.pedantic(
+        scenario.run,
+        args=(Announcement(prefix=victim_prefix, origin=victim_origin), attacker),
+        kwargs={"hijack_prefix": hijack_prefix},
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nSub-prefix hijack, no RPKI: attacker captures "
+        f"{len(outcome.attacker_captured)}/{outcome.total_ases} ASes "
+        f"({outcome.capture_fraction:.1%})"
+    )
+    # Longest-prefix match makes a sub-prefix hijack devastating.
+    assert outcome.capture_fraction > 0.8
+
+
+def test_subprefix_hijack_with_rpki_enforcement(
+    benchmark, bench_world, hijack_setup
+):
+    victim_prefix, victim_origin, attacker = hijack_setup
+    from repro.net import Prefix
+
+    hijack_prefix = Prefix(4, victim_prefix.value, victim_prefix.length + 2)
+    scenario = HijackScenario(bench_world.topology)
+    payloads = bench_world.payloads()
+    everyone = frozenset(
+        node.asn for node in bench_world.topology.ases()
+        if node.asn != attacker
+    )
+
+    outcome = benchmark.pedantic(
+        scenario.run,
+        args=(Announcement(prefix=victim_prefix, origin=victim_origin), attacker),
+        kwargs={
+            "hijack_prefix": hijack_prefix,
+            "payloads": payloads,
+            "enforcing": everyone,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nSub-prefix hijack, full RPKI enforcement: attacker captures "
+        f"{len(outcome.attacker_captured)}/{outcome.total_ases} ASes"
+    )
+    # The signed ROA (generous maxLength covers the sub-prefix origin
+    # check) lets enforcing ASes drop the hijack everywhere.
+    assert outcome.attacker_captured == {attacker}
+
+
+def test_partial_enforcement_sweep(benchmark, bench_world, hijack_setup):
+    """Deployment sweep: capture fraction vs share of enforcing ASes."""
+    victim_prefix, victim_origin, attacker = hijack_setup
+    scenario = HijackScenario(bench_world.topology)
+    payloads = bench_world.payloads()
+    all_asns = sorted(
+        node.asn for node in bench_world.topology.ases()
+        if node.asn != attacker
+    )
+
+    def sweep():
+        curve = []
+        for share in (0.0, 0.25, 0.5, 0.75, 1.0):
+            count = int(len(all_asns) * share)
+            enforcing = frozenset(all_asns[:count])
+            outcome = scenario.run(
+                Announcement(prefix=victim_prefix, origin=victim_origin),
+                attacker,
+                payloads=payloads,
+                enforcing=enforcing,
+            )
+            curve.append((share, outcome.capture_fraction))
+        return curve
+
+    curve = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nEnforcement sweep (origin hijack):")
+    for share, captured in curve:
+        print(f"  {share:.0%} enforcing -> attacker captures {captured:.1%}")
+    # More enforcement never helps the attacker; full deployment wins.
+    fractions = [captured for _share, captured in curve]
+    assert fractions[-1] <= fractions[0]
+    assert fractions[-1] < 0.05

@@ -1,0 +1,85 @@
+"""Extension — RPKI vs DNSSEC adoption (paper Section 7, future work).
+
+"In future work, we will ... compare RPKI deployment with the
+adoption of other core protocols such as DNSSEC."  This bench runs
+that comparison on the built world: per rank bin, the share of
+domains protected by each mechanism.
+"""
+
+import pytest
+
+from repro.analysis import bin_shares
+from repro.core import figure4_rpki_cdn
+from repro.crypto import DeterministicRNG
+from repro.dns.dnssec import SecurityStatus
+from repro.web.dnssec_adoption import (
+    DnssecAdoptionModel,
+    DnssecConfig,
+    rrset_for_validation,
+)
+
+from conftest import BENCH_SEED
+
+
+@pytest.fixture(scope="module")
+def dnssec_deployment(bench_world):
+    model = DnssecAdoptionModel(
+        DnssecConfig(), DeterministicRNG(BENCH_SEED)
+    )
+    return model.build(bench_world.ranking, bench_world.namespace)
+
+
+def test_ext_dnssec_vs_rpki(benchmark, bench_world, bench_result, dnssec_deployment):
+    def build_series():
+        flags = []
+        for domain in bench_world.ranking:
+            records = rrset_for_validation(bench_world.namespace, domain.name)
+            status = dnssec_deployment.status_for(domain.name, records)
+            flags.append(status is SecurityStatus.SECURE)
+        bin_size = max(1, len(flags) // 100)
+        return bin_shares(flags, bin_size, label="DNSSEC-secure")
+
+    dnssec_series = benchmark.pedantic(build_series, rounds=1, iterations=1)
+    rpki_series = figure4_rpki_cdn(bench_result)["rpki_enabled"]
+
+    print("\nRPKI vs DNSSEC protection per rank bin (sampled):")
+    step = max(1, len(rpki_series) // 10)
+    for index in range(0, len(rpki_series), step):
+        start, end = rpki_series.bin_range(index)
+        print(
+            f"  ranks {start:>7}-{end:<7}  RPKI={rpki_series.values[index]:.4f}  "
+            f"DNSSEC={dnssec_series.values[index]:.4f}"
+        )
+    print(
+        f"  means: RPKI={rpki_series.mean():.4f} "
+        f"DNSSEC={dnssec_series.mean():.4f}"
+    )
+
+    # Both core protocols sit at low single-digit adoption in 2015.
+    assert 0.005 < dnssec_series.mean() < 0.10
+    assert 0.02 < rpki_series.mean() < 0.12
+    # Every domain got a verdict; SECURE plus INSECURE should cover
+    # nearly the whole population (BOGUS only under attack).
+    assert sum(dnssec_series.counts) == len(bench_world.ranking)
+
+
+def test_ext_dnssec_validation_integrity(benchmark, bench_world, dnssec_deployment):
+    """No signed domain validates bogus; no unsigned domain secure."""
+
+    def check():
+        bogus, mismatched = 0, 0
+        for domain in bench_world.ranking.top(2000):
+            records = rrset_for_validation(bench_world.namespace, domain.name)
+            status = dnssec_deployment.status_for(domain.name, records)
+            if status is SecurityStatus.BOGUS:
+                bogus += 1
+            signed = dnssec_deployment.signed_domains[domain.name]
+            if signed != (status is SecurityStatus.SECURE):
+                mismatched += 1
+        return bogus, mismatched
+
+    bogus, mismatched = benchmark.pedantic(check, rounds=1, iterations=1)
+    print(f"\nDNSSEC integrity over 2000 domains: bogus={bogus} "
+          f"mismatched={mismatched}")
+    assert bogus == 0
+    assert mismatched == 0

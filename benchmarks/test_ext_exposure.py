@@ -1,0 +1,55 @@
+"""Extension — Section 5.2: RPKI exposes business relations.
+
+"Imagine that two large CDNs serve secretly as backups for each
+other ... RPKI would publicly reveal these setups."  The synthetic
+world contains pre-authorized backup partners that never announce;
+this bench checks that exactly such relations become visible through
+the validated ROA set while remaining invisible in BGP data.
+"""
+
+from repro.core.exposure import analyse_exposure
+
+
+def test_ext_rpki_exposes_backup_relations(benchmark, bench_world):
+    report = benchmark(analyse_exposure, bench_world)
+    print(f"\nExposure analysis: {report.summary()}")
+
+    backups = bench_world.adoption.backup_authorizations
+    print(f"  backup authorizations configured: {len(backups)}")
+    for prefix, partner in sorted(backups.items())[:5]:
+        owner = next(
+            org.name
+            for org in bench_world.organisations
+            if prefix in org.prefixes
+        )
+        partner_org = bench_world.org_of_asn(partner)
+        print(f"    {owner} pre-authorizes {partner_org.name} on {prefix}")
+
+    assert backups, "world should contain backup authorizations"
+    # Every configured backup relation is readable from the RPKI...
+    for prefix, partner in backups.items():
+        owner = next(
+            org.name
+            for org in bench_world.organisations
+            if prefix in org.prefixes
+        )
+        partner_org = bench_world.org_of_asn(partner).name
+        assert (owner, partner_org) in report.roa_relations
+        # ... and (the partner never announces) not in BGP.
+        assert (owner, partner_org) not in report.bgp_relations
+        assert (owner, partner_org) in report.rpki_only
+
+    # The headline: the RPKI catalog reveals relations public routing
+    # data does not.
+    assert report.exposure_count >= len(backups)
+
+
+def test_ext_exposure_excludes_self_relations(benchmark, bench_world):
+    """An org authorizing its own AS reveals nothing."""
+    report = benchmark.pedantic(
+        analyse_exposure, args=(bench_world,), rounds=1, iterations=1
+    )
+    for owner, authorized in report.roa_relations:
+        assert owner != authorized
+    for owner, origin in report.bgp_relations:
+        assert owner != origin

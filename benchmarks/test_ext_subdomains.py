@@ -1,0 +1,86 @@
+"""Extension — Section 5.3: targeting subdomains.
+
+"a commercially motivated attacker may explicitly target subdomains,
+e.g. those hosting adverts."  Because adverts ride a handful of
+shared third-party networks, hijacking one ad-network prefix disrupts
+advert delivery for *many* websites at once, while each site's main
+content stays up — invisible to full-page monitoring.
+"""
+
+import pytest
+
+from repro.bgp import Announcement, ASRole, HijackScenario
+from repro.crypto import DeterministicRNG
+from repro.net import ASN, Prefix
+from repro.web.subdomains import SubdomainConfig, SubdomainModel
+
+from conftest import BENCH_SEED
+
+
+@pytest.fixture(scope="module")
+def sharded(bench_world):
+    model = SubdomainModel(SubdomainConfig(), DeterministicRNG(BENCH_SEED))
+    return model.build(bench_world)
+
+
+def test_ext_ads_hijack_blast_radius(benchmark, bench_world, sharded):
+    """One ad-network prefix hijack vs one website hijack."""
+    network = max(
+        sharded.ad_networks,
+        key=lambda n: len(sharded.domains_using_network(n)),
+    )
+    victim_org = network.organisation
+    victim_origin = victim_org.prefixes[network.prefix]
+    attacker = bench_world.topology.by_role(ASRole.EYEBALL)[-1].asn
+    scenario = HijackScenario(bench_world.topology)
+    sub = Prefix(4, network.prefix.value, min(network.prefix.length + 2, 24))
+
+    def run():
+        return scenario.run(
+            Announcement(prefix=network.prefix, origin=victim_origin),
+            attacker,
+            hijack_prefix=sub,
+            target=network.prefix.nth_address(7),  # the ad server
+        )
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    affected_sites = sharded.domains_using_network(network)
+    print(
+        f"\nAds hijack of {network.name} ({sub}): attacker captures "
+        f"{outcome.capture_fraction:.1%} of ASes; advert delivery of "
+        f"{len(affected_sites)} websites rides that prefix"
+    )
+    # The shared network makes the attack wholesale: far more websites
+    # are affected than the single domain a site-hijack would hit.
+    assert len(affected_sites) > 20
+    assert outcome.capture_fraction > 0.5
+
+
+def test_ext_subdomain_infra_spreads_networks(benchmark, bench_world, sharded):
+    """Sharding increases the number of networks a popular site
+    depends on — each an additional prefix to protect (Section 5.3:
+    securing 'whole ASes' is not enough when adverts live elsewhere)."""
+
+    def count():
+        from repro.dns import RecursiveResolver
+
+        resolver = RecursiveResolver(bench_world.namespace)
+        extra = 0
+        sampled = 0
+        for domain in bench_world.ranking.top(500):
+            subs = sharded.subdomains.get(domain.name, [])
+            ads = sharded.ads_subdomain_of.get(domain.name)
+            if not ads:
+                continue
+            main = resolver.resolve(domain.www_name).addresses
+            ads_addresses = resolver.resolve(ads).addresses
+            sampled += 1
+            if main and ads_addresses and main[0] != ads_addresses[0]:
+                extra += 1
+        return sampled, extra
+
+    sampled, extra = benchmark.pedantic(count, rounds=1, iterations=1)
+    print(f"\n{extra}/{sampled} sampled popular sites serve adverts from "
+          f"a different network than their main content")
+    assert sampled > 50
+    assert extra / sampled > 0.9

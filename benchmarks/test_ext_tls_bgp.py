@@ -1,0 +1,127 @@
+"""Extension — Section 2.3: "TLS does not necessarily protect against
+such an attack when prefix hijacking is in place [9]".
+
+Stages the Gavrichenkov attack against a real domain of the built
+world: a short-lived hijack wins the CA's domain-control validation
+and yields a browser-trusted certificate that outlives the hijack.
+RPKI origin validation at the CA's network blocks issuance.
+"""
+
+import pytest
+
+from repro.bgp import Announcement, ASRole
+from repro.crypto import DeterministicRNG
+from repro.dns import PublicResolver
+from repro.dns.vantage import ResolverSpec
+from repro.net import ASN
+from repro.webpki import BGPCertificateAttack, DomainControlValidator, WebCA
+
+
+@pytest.fixture(scope="module")
+def attack_setup(bench_world):
+    """Pick a signed, non-CDN victim domain and its prefix."""
+    signed = bench_world.adoption.signed_prefixes
+    resolver = bench_world.resolvers()[0]
+    victim = None
+    for domain in bench_world.ranking:
+        truth = bench_world.hosting.ground_truth[domain.name]
+        if truth.uses_cdn or truth.invalid_dns:
+            continue
+        answer = resolver.resolve(domain.name)
+        if len(answer.addresses) != 1:
+            continue
+        address = answer.addresses[0]
+        covering = [p for p in signed if p.contains(address)]
+        if covering:
+            prefix = max(covering, key=lambda p: p.length)
+            if prefix.length <= 22 and prefix.family == 4:
+                origin = signed[prefix]
+                org = bench_world.org_of_asn(origin)
+                if org is not None and origin in org.asns:
+                    victim = (domain, prefix, origin, address)
+                    break
+    assert victim is not None, "need a signed single-address victim"
+    domain, prefix, origin, address = victim
+
+    ca_asn = bench_world.topology.by_role(ASRole.EYEBALL)[0].asn
+    attacker = bench_world.topology.by_role(ASRole.STUB)[-1].asn \
+        if bench_world.topology.by_role(ASRole.STUB) \
+        else bench_world.topology.by_role(ASRole.EYEBALL)[-1].asn
+
+    def legitimate_host(addr):
+        return origin if prefix.contains(addr) else None
+
+    ca_resolver = PublicResolver(
+        bench_world.namespace, ResolverSpec("CA-resolver", "berlin")
+    )
+    attack = BGPCertificateAttack(bench_world.topology, legitimate_host)
+    return bench_world, domain, prefix, origin, attacker, ca_asn, ca_resolver, attack
+
+
+def _make_ca(ca_resolver, ca_asn):
+    validator = DomainControlValidator(resolver=ca_resolver, ca_asn=ca_asn)
+    return WebCA("SimCA", DeterministicRNG("bench-ca"), validator)
+
+
+def test_ext_tls_attack_without_rpki(benchmark, attack_setup):
+    (world, domain, prefix, origin, attacker, ca_asn,
+     ca_resolver, attack) = attack_setup
+
+    from repro.net import Prefix
+
+    resolver = world.resolvers()[0]
+    address = resolver.resolve(domain.name).addresses[0]
+    # The more-specific must cover the web server's actual address.
+    hijack_prefix = Prefix.from_address(address, min(prefix.length + 2, 24))
+
+    def run():
+        return attack.execute(
+            victim_domain=domain.name,
+            victim_announcement=Announcement(prefix, origin),
+            attacker_asn=attacker,
+            ca=_make_ca(ca_resolver, ca_asn),
+            hijack_prefix=hijack_prefix,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nHTTPS-via-BGP attack on {domain.name} ({prefix}, hijacking "
+        f"{hijack_prefix}): {result!r}; hijack churned "
+        f"{result.hijack_messages} UPDATEs, healed={result.healed}"
+    )
+    assert result.succeeded
+    assert result.mitm_possible
+    assert result.healed  # no lasting trace in the routing system
+
+
+def test_ext_tls_attack_with_rpki_at_ca(benchmark, attack_setup):
+    (world, domain, prefix, origin, attacker, ca_asn,
+     ca_resolver, attack) = attack_setup
+    payloads = world.payloads()
+    from repro.net import Prefix
+
+    resolver = world.resolvers()[0]
+    address = resolver.resolve(domain.name).addresses[0]
+    hijack_prefix = Prefix.from_address(address, min(prefix.length + 2, 24))
+
+    def run():
+        # Enforce at the CA's AS plus everything except the attacker
+        # (the victim's prefix already has a genuine ROA in this world).
+        enforcing = [
+            node.asn for node in world.topology.ases()
+            if node.asn != attacker
+        ]
+        return attack.execute(
+            victim_domain=domain.name,
+            victim_announcement=Announcement(prefix, origin),
+            attacker_asn=attacker,
+            ca=_make_ca(ca_resolver, ca_asn),
+            hijack_prefix=hijack_prefix,
+            payloads=payloads,
+            enforcing=enforcing,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nSame attack under RPKI enforcement: {result!r}")
+    assert not result.succeeded
+    assert not result.mitm_possible

@@ -1,0 +1,33 @@
+"""Figure 1 — IP deployment overlap between www and w/o-www names.
+
+Paper: "for the first 100k domains more than 76% of the IP prefixes
+are equal for both names.  For the remaining domains, more than 94%
+of the names refer to the same prefix."
+"""
+
+from repro.core import figure1_www_overlap
+
+
+def _print(series):
+    print("\nFigure 1: equal prefixes between www and w/o www")
+    step = max(1, len(series) // 10)
+    for index in range(0, len(series), step):
+        start, end = series.bin_range(index)
+        print(f"  ranks {start:>7}-{end:<7}  {series.values[index]:.3f}")
+    print(
+        f"  head(10 bins)={series.head_mean(10):.3f}  "
+        f"tail(90 bins)={sum(series.values[10:]) / len(series.values[10:]):.3f}"
+    )
+
+
+def test_figure1_overlap(benchmark, bench_result):
+    series = benchmark(figure1_www_overlap, bench_result)
+    _print(series)
+    head = series.head_mean(10)        # the first 100k-equivalent
+    rest = series.values[10:]
+    rest_mean = sum(rest) / len(rest)
+    # Paper shape: popular head less equal than the long tail.
+    assert head < rest_mean
+    # Paper magnitudes: head > 0.76, rest > 0.94 (with slack for scale).
+    assert head > 0.70
+    assert rest_mean > 0.90

@@ -1,0 +1,119 @@
+"""Figure 2 — RPKI validation outcome across the Alexa ranking.
+
+Paper: "On average, only 6% of the web server prefixes are covered by
+RPKI ... Roughly 0.09% of the prefixes are invalid ... Among the
+first 100k domains only ~4.0% of web server prefixes are secured via
+RPKI.  In contrast, for the last 100k domains, ~5.5% are secured."
+
+Includes the two ablations DESIGN.md calls out: bin size, and strict
+(maxLength = prefix length) ROAs.
+"""
+
+import pytest
+
+from repro.analysis import trend_slope
+from repro.core import MeasurementStudy, figure2_rpki_outcome
+from repro.web import EcosystemConfig, WebEcosystem
+
+
+def _print(series_map):
+    print("\nFigure 2: RPKI validation outcome (per rank bin)")
+    valid = series_map["valid"]
+    step = max(1, len(valid) // 10)
+    for index in range(0, len(valid), step):
+        start, end = valid.bin_range(index)
+        print(
+            f"  ranks {start:>7}-{end:<7}  "
+            f"valid={series_map['valid'].values[index]:.4f}  "
+            f"invalid={series_map['invalid'].values[index]:.5f}  "
+            f"not_found={series_map['not_found'].values[index]:.4f}"
+        )
+    print(
+        f"  valid: head={valid.head_mean(10):.4f} tail={valid.tail_mean(10):.4f} "
+        f"mean={valid.mean():.4f}"
+    )
+    print(f"  invalid mean={series_map['invalid'].mean():.5f}")
+    print(f"  not_found mean={series_map['not_found'].mean():.4f}")
+
+
+def test_figure2_outcome(benchmark, bench_result):
+    series_map = benchmark(figure2_rpki_outcome, bench_result)
+    _print(series_map)
+    valid, invalid = series_map["valid"], series_map["invalid"]
+    covered_mean = valid.mean() + invalid.mean()
+    # Coverage is a few percent (paper: ~6% average), never zero.
+    assert 0.02 < covered_mean < 0.12
+    # Less popular content is more secured: head (top 10% of ranks)
+    # below tail, and the overall rank trend is upward.
+    assert valid.head_mean(20) < valid.tail_mean(20)
+    assert trend_slope(valid.values) > 0
+    # Invalids are rare (paper: ~0.09%) and spread over the ranking.
+    assert 0.0001 < invalid.mean() < 0.01
+    spread = sum(1 for v in invalid.values if v > 0)
+    assert spread >= len(invalid.values) // 10
+    # The vast majority of the web is simply not in the RPKI.
+    assert series_map["not_found"].mean() > 0.85
+
+
+def test_figure2_bin_size_ablation(benchmark, bench_result):
+    """The headline numbers must be robust to the bin size choice."""
+
+    def run():
+        outputs = {}
+        population = len(bench_result)
+        for divisor in (20, 50, 100, 200):
+            bin_size = max(1, population // divisor)
+            outputs[divisor] = figure2_rpki_outcome(bench_result, bin_size)
+        return outputs
+
+    outputs = benchmark(run)
+    means = [series["valid"].mean() for series in outputs.values()]
+    print("\nBin-size ablation (valid mean per bin count):")
+    for divisor, series in outputs.items():
+        print(f"  {divisor} bins -> {series['valid'].mean():.4f}")
+    assert max(means) - min(means) < 0.005  # invariant to binning
+
+
+def test_figure2_strict_maxlength_ablation(benchmark):
+    """Ablation: strict maxLength ROAs flip announced more-specifics
+    to *invalid* — quantifies how much operators' generous maxLength
+    practice matters for the valid/invalid split."""
+    from repro.web.adoption import AdoptionConfig
+
+    from repro.rpki.vrp import OriginValidation
+
+    def run():
+        outputs = {}
+        for generous in (True, False):
+            config = EcosystemConfig(
+                domain_count=3000,
+                seed=77,
+                hoster_count=150,
+                adoption=AdoptionConfig(generous_max_length=generous),
+            )
+            world = WebEcosystem.build(config)
+            payloads = world.payloads()
+            counts = {state: 0 for state in OriginValidation}
+            # Validate every table-dump row, as [32] does for entire
+            # BGP tables.
+            for entry in world.table_dump:
+                origin = entry.origin
+                if origin is None:
+                    continue
+                counts[payloads.validate_origin(entry.prefix, origin)] += 1
+            outputs[generous] = counts
+        return outputs
+
+    outputs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nmaxLength ablation (table-dump row validation):")
+    for generous, counts in outputs.items():
+        label = "generous" if generous else "strict"
+        print(f"  {label}: {{state: count}} = "
+              f"{ {str(k): v for k, v in counts.items()} }")
+    strict_invalid = outputs[False][OriginValidation.INVALID]
+    generous_invalid = outputs[True][OriginValidation.INVALID]
+    strict_valid = outputs[False][OriginValidation.VALID]
+    generous_valid = outputs[True][OriginValidation.VALID]
+    # Strict maxLength flips announced more-specifics valid -> invalid.
+    assert strict_invalid > generous_invalid
+    assert strict_valid < generous_valid

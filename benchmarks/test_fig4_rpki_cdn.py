@@ -1,0 +1,81 @@
+"""Figure 4 — RPKI deployment on CDNs vs the unconditioned web.
+
+Paper: "RPKI deployment is fairly independent of the rank for CDNs.
+Results fluctuate around an average of ~0.9%.  This is almost an
+order of magnitude lower than the overall RPKI deployment rate."
+"""
+
+from repro.analysis import trend_slope
+from repro.core import figure4_rpki_cdn
+
+
+def _print(series_map):
+    print("\nFigure 4: RPKI-enabled share per rank bin")
+    overall = series_map["rpki_enabled"]
+    cdn = series_map["rpki_enabled_cdn"]
+    step = max(1, len(overall) // 10)
+    for index in range(0, len(overall), step):
+        start, end = overall.bin_range(index)
+        print(
+            f"  ranks {start:>7}-{end:<7}  overall={overall.values[index]:.4f}  "
+            f"cdn={cdn.values[index]:.4f} (n={cdn.counts[index]})"
+        )
+    print(
+        f"  overall mean={overall.mean():.4f}  cdn mean={cdn.mean():.4f}  "
+        f"ratio={overall.mean() / max(cdn.mean(), 1e-9):.1f}x"
+    )
+
+
+def test_figure4_rpki_cdn(benchmark, bench_result):
+    series_map = benchmark(figure4_rpki_cdn, bench_result)
+    _print(series_map)
+    overall = series_map["rpki_enabled"]
+    cdn = series_map["rpki_enabled_cdn"]
+
+    # CDN-hosted sites are much worse off than the web at large
+    # (paper: ~0.9% vs ~5%, almost an order of magnitude).
+    assert cdn.mean() < overall.mean() / 2
+    assert cdn.mean() < 0.03
+    assert 0.02 < overall.mean() < 0.12
+
+    # For CDNs, deployment is fairly independent of the rank: the
+    # rank trend is much weaker than the overall series' trend.
+    assert abs(trend_slope(cdn.values)) < max(
+        3 * abs(trend_slope(overall.values)), 1e-4
+    )
+
+
+def test_figure4_third_party_inheritance(benchmark, bench_world, bench_result):
+    """Section 4.2: "CDN servers that are placed in third party
+    networks benefit from RPKI deployment that these networks
+    perform" — every RPKI-enabled *cache address* sits in third-party
+    space because the CDNs sign (almost) nothing themselves."""
+
+    def classify_cache_coverage():
+        signed = list(bench_world.adoption.signed_prefixes)
+        rows = {"third_party_covered": 0, "own_covered": 0, "uncovered": 0}
+        internap_prefixes = {
+            prefix
+            for org in bench_world.organisations
+            if org.name == "Internap"
+            for prefix in org.prefixes
+        }
+        for pool in bench_world.hosting.caches.values():
+            for cache in pool:
+                covered = any(
+                    prefix.contains(cache.addresses[0]) for prefix in signed
+                )
+                if not covered:
+                    rows["uncovered"] += 1
+                elif cache.third_party:
+                    rows["third_party_covered"] += 1
+                else:
+                    rows["own_covered"] += 1
+        return rows
+
+    rows = benchmark(classify_cache_coverage)
+    print(f"\nCache RPKI coverage: {rows}")
+    # Coverage of CDN content comes from third-party networks (the
+    # only possible exception being Internap's four own prefixes).
+    assert rows["third_party_covered"] >= rows["own_covered"]
+    assert rows["uncovered"] > rows["third_party_covered"]

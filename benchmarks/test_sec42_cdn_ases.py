@@ -1,0 +1,40 @@
+"""Section 4.2 in-text numbers — CDN ASes and their RPKI objects.
+
+Paper: "We discover 199 ASes operated by these CDNs.  From these, we
+find only four entries in the RPKI.  These four prefixes are owned by
+Internap and are tied to three origin ASes ... Internap operates at
+least 41 ASes ... No other CDN has made any deployment."
+"""
+
+from repro.core import cdn_as_report
+from repro.core.cdn_asns import spot_cdn_ases
+from repro.web.cdn import CDN_CATALOGUE
+
+
+def test_sec42_cdn_as_report(benchmark, bench_world):
+    report = benchmark(cdn_as_report, bench_world)
+    print(f"\nSection 4.2: {report.summary()}")
+    per_operator = {
+        name: len(ases) for name, ases in report.ases_per_operator.items()
+    }
+    print(f"  per operator: {per_operator}")
+
+    assert report.total_cdn_ases == 199
+    assert report.rpki_entry_count == 4
+    assert len(report.rpki_origin_ases) == 3
+    assert report.operators_with_rpki == {"Internap"}
+    assert per_operator["Internap"] == 41
+    assert len(per_operator) == 16
+
+
+def test_sec42_keyword_spotting_is_lower_bound(benchmark, bench_world):
+    """Keyword spotting never attributes a non-CDN AS to a CDN."""
+    assignment = bench_world.as_assignment_list()
+    spotted = benchmark(spot_cdn_ases, assignment)
+    cdn_org_names = {op.name for op in CDN_CATALOGUE}
+    for operator_name, ases in spotted.items():
+        for asn in ases:
+            org = bench_world.org_of_asn(asn)
+            assert org is not None
+            assert org.name in cdn_org_names
+            assert org.name == operator_name

@@ -1,0 +1,55 @@
+"""Section 4 opening statistics and pipeline throughput.
+
+Paper: "After excluding 0.07% incorrect DNS answers, we gathered
+1,167,086 IP addresses for the www domains and 1,154,170 IP addresses
+for the w/o www domains.  These addresses map to 1,369,030 and
+1,334,957 different prefix-AS pairs respectively.  0.01% of the IP
+addresses are not reachable from our BGP vantage points."
+"""
+
+from repro.core import MeasurementStudy, pipeline_statistics
+
+
+def test_sec4_statistics(benchmark, bench_world, bench_result):
+    stats = benchmark(pipeline_statistics, bench_result)
+    print("\nSection 4 statistics (paper @1M | measured):")
+    domains = stats["domains"]
+    print(f"  domains: 1,000,000 | {domains}")
+    print(f"  invalid DNS fraction: 0.0007 | {stats['invalid_dns_fraction']:.5f}")
+    print(
+        f"  addresses/domain (www): 1.167 | "
+        f"{stats['www_addresses'] / domains:.3f}"
+    )
+    print(
+        f"  addresses/domain (plain): 1.154 | "
+        f"{stats['plain_addresses'] / domains:.3f}"
+    )
+    print(
+        f"  pairs/address (www): 1.173 | "
+        f"{stats['www_pairs'] / max(stats['www_addresses'], 1):.3f}"
+    )
+    print(f"  unreachable fraction: 0.0001 | {stats['unreachable_fraction']:.5f}")
+    print(f"  AS_SET exclusions: {stats['as_set_exclusions']}")
+
+    # More addresses than domains (multiple A records per name).
+    assert stats["www_addresses"] > domains
+    assert stats["plain_addresses"] > domains
+    # A tiny share of invalid DNS answers (paper: 0.07%).
+    assert 0 <= stats["invalid_dns_fraction"] < 0.005
+    # A tiny share of unreachable addresses (paper: 0.01%).
+    assert 0 <= stats["unreachable_fraction"] < 0.005
+
+
+def test_sec4_study_throughput(benchmark, bench_world):
+    """Benchmark the full four-step pipeline over a rank slice."""
+    study = MeasurementStudy.from_ecosystem(bench_world)
+    sample = bench_world.ranking.top(500)
+
+    def run_slice():
+        return [study.measure_domain(domain) for domain in sample]
+
+    measurements = benchmark(run_slice)
+    assert len(measurements) == 500
+    usable = sum(1 for m in measurements if m.usable)
+    print(f"\nThroughput sample: {usable}/500 usable")
+    assert usable > 480

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""CDN deep-dive (paper Sections 4.2 and 4.3).
+
+Walks the paper's CDN analysis: keyword spotting of CDN ASes, the
+search for their RPKI objects, the two CDN-detection heuristics, and
+the "are the CDNs to blame?" join of CDN-ness with RPKI coverage.
+
+Run:  python examples/cdn_study.py
+"""
+
+import sys
+
+from repro import EcosystemConfig, MeasurementStudy, WebEcosystem
+from repro.analysis import TextTable
+from repro.core import ChainHeuristic, cdn_as_report, figure3_cdn_popularity, figure4_rpki_cdn
+from repro.web import HTTPArchiveClassifier
+
+
+def main() -> int:
+    print("Building the world...")
+    world = WebEcosystem.build(EcosystemConfig(domain_count=8000, seed=2015))
+    result = MeasurementStudy.from_ecosystem(world).run()
+
+    # -- Section 4.2: which CDN ASes are in the RPKI? --------------------
+    print("\n== Keyword spotting over AS assignment lists (Section 4.2) ==")
+    report = cdn_as_report(world)
+    table = TextTable(["CDN", "ASes spotted", "RPKI entries"])
+    for name in sorted(report.ases_per_operator):
+        entries = (
+            report.rpki_entry_count if name in report.operators_with_rpki else 0
+        )
+        table.add_row(name, len(report.ases_per_operator[name]), entries)
+    print(table.render())
+    print(f"-> {report.summary()}")
+
+    # -- Section 4.3: two detection heuristics ---------------------------
+    print("\n== CDN detection: chain heuristic vs HTTPArchive ==")
+    coverage = len(world.ranking) * 3 // 10
+    classifier = HTTPArchiveClassifier(world.namespace, coverage=coverage)
+    archive = classifier.classify_all(world.ranking)
+    heuristic = ChainHeuristic()
+    counts = heuristic.agreement(result, archive)
+    print(f"  agreement over first {coverage} ranks + tail: {counts}")
+    print("  (the chain heuristic is the conservative under-estimate: "
+          "single-CNAME deployments are pattern-matched only)")
+
+    fig3 = figure3_cdn_popularity(result, archive, coverage)
+    print(f"  CDN share, top 10% of ranks:    "
+          f"{fig3['GoogleDNS'].head_mean(10):.1%} (chains) vs "
+          f"{fig3['HTTPArchive'].head_mean(10):.1%} (patterns)")
+    print(f"  CDN share, bottom 10% of ranks: "
+          f"{fig3['GoogleDNS'].tail_mean(10):.1%} (chains)")
+
+    # -- Are the CDNs to blame? ------------------------------------------
+    print("\n== Are the CDNs to blame? (Figure 4 join) ==")
+    fig4 = figure4_rpki_cdn(result)
+    overall = fig4["rpki_enabled"].mean()
+    cdn = fig4["rpki_enabled_cdn"].mean()
+    print(f"  RPKI-enabled overall:        {overall:.2%}")
+    print(f"  RPKI-enabled on CDN-hosted:  {cdn:.2%}")
+    if cdn > 0:
+        print(f"  -> CDN-hosted sites are {overall / cdn:.1f}x worse off")
+
+    # Where does the residual CDN coverage come from? Third parties.
+    signed = list(world.adoption.signed_prefixes)
+    third_party, own = 0, 0
+    for pool in world.hosting.caches.values():
+        for cache in pool:
+            if any(p.contains(cache.addresses[0]) for p in signed):
+                if cache.third_party:
+                    third_party += 1
+                else:
+                    own += 1
+    print(f"\n  RPKI-covered caches: {third_party} in third-party networks, "
+          f"{own} in CDN-owned space (the latter can only be Internap)")
+    print("  -> 'CDN servers that are placed in third party networks "
+          "benefit from RPKI deployment that these networks perform'")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: build a world, run the study, print the headline result.
+
+Reproduces the paper's core finding in ~30 seconds: popular websites
+are *less* likely to be protected by RPKI than unpopular ones, and
+CDN-hosted websites are the least protected of all.
+
+Run:  python examples/quickstart.py [domain_count] [seed]
+"""
+
+import sys
+import time
+
+from repro import EcosystemConfig, MeasurementStudy, WebEcosystem
+from repro.core import (
+    figure2_rpki_outcome,
+    figure4_rpki_cdn,
+    pipeline_statistics,
+    table1_top_covered,
+)
+from repro.core.reports import render_table1
+
+
+def main() -> int:
+    domain_count = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 2015
+
+    print(f"Building a synthetic web ecosystem ({domain_count} domains)...")
+    started = time.time()
+    world = WebEcosystem.build(
+        EcosystemConfig(domain_count=domain_count, seed=seed)
+    )
+    print(f"  {world!r}  [{time.time() - started:.1f}s]")
+    print(f"  RPKI: {world.adoption.report.summary()}")
+
+    print("Running the four-step measurement study...")
+    started = time.time()
+    result = MeasurementStudy.from_ecosystem(world).run()
+    print(f"  measured {len(result)} domains  [{time.time() - started:.1f}s]")
+
+    stats = pipeline_statistics(result)
+    print(f"\n{stats['www_addresses']} www addresses, "
+          f"{stats['plain_addresses']} w/o-www addresses resolved")
+
+    fig2 = figure2_rpki_outcome(result)
+    head = fig2["valid"].head_mean(10)
+    tail = fig2["valid"].tail_mean(10)
+    print("\n-- The tragic story --")
+    print(f"RPKI-valid share, most popular 10% of sites:  {head:.2%}")
+    print(f"RPKI-valid share, least popular 10% of sites: {tail:.2%}")
+    print("=> less popular content is MORE secured" if head < tail
+          else "=> (this seed bucks the trend; try a larger population)")
+
+    fig4 = figure4_rpki_cdn(result)
+    print(f"\nRPKI-enabled websites overall:    "
+          f"{fig4['rpki_enabled'].mean():.2%}")
+    print(f"RPKI-enabled among CDN-hosted:    "
+          f"{fig4['rpki_enabled_cdn'].mean():.2%}")
+    print("=> CDNs are the principal cause of the degraded head of the "
+          "ranking")
+
+    print("\nTop domains with any RPKI coverage (Table 1 analogue):")
+    print(render_table1(table1_top_covered(result, count=8)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

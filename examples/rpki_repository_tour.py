@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""RPKI substrate tour: build a tiny PKI by hand and watch the
+relying party accept, reject, and revoke objects.
+
+This example uses no synthetic-world machinery — only the public
+RPKI API — and shows why "only cryptographically correct ROAs are
+further used" (paper, Section 3, step 4).
+
+Run:  python examples/rpki_repository_tour.py
+"""
+
+import dataclasses
+import sys
+
+from repro.crypto import DeterministicRNG
+from repro.net import Prefix
+from repro.rpki import (
+    CertificateAuthority,
+    OriginValidation,
+    RelyingParty,
+    Repository,
+    ResourceSet,
+    TrustAnchorLocator,
+)
+from repro.rpki.repository import publish_ca_products
+from repro.rpki.roa import issue_roa
+
+
+def main() -> int:
+    rng = DeterministicRNG("rpki-tour")
+
+    # 1. A trust anchor (think RIPE NCC) and a member LIR below it.
+    ripe = CertificateAuthority.create_trust_anchor("RIPE", rng)
+    lir = ripe.issue_child_ca(
+        "ExampleNet",
+        ResourceSet.from_strings(prefixes=["5.0.0.0/16"], asns=[64500]),
+    )
+    print(f"Trust anchor: {ripe.certificate!r}")
+    print(f"Member CA:    {lir.certificate!r}")
+
+    # 2. The LIR authorizes its AS to originate a prefix.
+    roa = issue_roa(lir, 64500, [("5.0.0.0/16", 20)])
+    print(f"ROA issued:   {roa!r}")
+
+    # 3. Publish and validate.
+    repo = Repository()
+    repo.add_trust_anchor(ripe.certificate)
+    publish_ca_products(repo, ripe, [])
+    publish_ca_products(repo, lir, [roa])
+    tal = TrustAnchorLocator.for_authority(ripe)
+
+    payloads, report = RelyingParty(repo).validate([tal], now=1.0)
+    print(f"\nValidation:   {report.summary()}")
+    for vrp in payloads:
+        print(f"  VRP: {vrp}")
+
+    # 4. Origin validation from a router's point of view.
+    cases = [
+        ("5.0.0.0/16", 64500),   # exactly authorized
+        ("5.0.128.0/20", 64500), # within maxLength
+        ("5.0.128.0/24", 64500), # too specific
+        ("5.0.0.0/16", 666),     # wrong origin (a hijack)
+        ("8.8.8.0/24", 15169),   # unknown space
+    ]
+    print("\nRouter origin validation (RFC 6811):")
+    for prefix_text, origin in cases:
+        state = payloads.validate_origin(Prefix.parse(prefix_text), origin)
+        print(f"  {prefix_text:>15} from AS{origin:<6} -> {state}")
+
+    # 5. Tampering is caught cryptographically, not by convention.
+    point = repo.lookup(lir.keypair.public.fingerprint())
+    name = next(iter(point.roas))
+    genuine = point.roas[name]
+    point.roas[name] = dataclasses.replace(genuine, signature=genuine.signature ^ 1)
+    payloads, report = RelyingParty(repo).validate([tal], now=1.0)
+    print(f"\nAfter tampering with the ROA signature: {report.summary()}")
+    print(f"  VRPs now: {len(payloads)} (the forged object is discarded)")
+
+    # 6. Revocation: the LIR key is compromised, RIPE revokes its cert.
+    point.roas[name] = genuine
+    ripe.revoke(lir.certificate.serial)
+    publish_ca_products(repo, ripe, [])
+    payloads, report = RelyingParty(repo).validate([tal], now=1.0)
+    print(f"\nAfter revoking the LIR certificate: {report.summary()}")
+    assert payloads.validate_origin(
+        Prefix.parse("5.0.0.0/16"), 64500
+    ) is OriginValidation.NOT_FOUND
+    print("  The LIR's ROAs vanish with it: back to NOT_FOUND.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

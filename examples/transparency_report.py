@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Per-domain delivery-security audits (paper Section 5.1).
+
+The paper asks: "How can a content owner easily verify that his
+content is reliably and securely delivered in the current Web
+ecosystem?"  This example answers it for a handful of domains of the
+synthetic world: one call, one graded report with actionable
+findings.
+
+Run:  python examples/transparency_report.py
+"""
+
+import sys
+
+from repro import EcosystemConfig, WebEcosystem
+from repro.core.transparency import audit_domain, render_report
+
+
+def main() -> int:
+    print("Building the world...")
+    world = WebEcosystem.build(EcosystemConfig(domain_count=4000, seed=2015))
+
+    # Audit a sample until we have seen every grade.
+    seen = {}
+    for domain in world.ranking:
+        report = audit_domain(world, domain.name)
+        seen.setdefault(report.grade, report)
+        if set(seen) >= {"A", "B", "C", "F"}:
+            break
+
+    for grade in ("A", "B", "C", "F"):
+        report = seen.get(grade)
+        if report is None:
+            continue
+        print("\n" + "=" * 64)
+        print(render_report(report))
+
+    print("\n" + "=" * 64)
+    total = {"A": 0, "B": 0, "C": 0, "F": 0}
+    for domain in world.ranking.top(1000):
+        total[audit_domain(world, domain.name).grade] += 1
+    print("Grade distribution over the top 1000 domains:")
+    for grade, count in total.items():
+        print(f"  {grade}: {count:4d}  {'#' * (count // 20)}")
+    print("\nThe tragic story, per-domain: almost everything is a C.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

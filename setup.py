@@ -1,0 +1,11 @@
+"""Thin setuptools shim.
+
+The offline evaluation environment ships setuptools but not ``wheel``,
+so the PEP 660 editable-install path is unavailable; this file enables
+pip's legacy ``setup.py develop`` fallback.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""Terminal chart rendering for binned series.
+
+The benchmark harness and CLI print the figures' *rows*; this module
+adds a visual: unicode sparklines and multi-series block charts so
+the shapes of Figures 1-4 are visible directly in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.series import BinnedSeries
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    minimum: Optional[float] = None,
+    maximum: Optional[float] = None,
+) -> str:
+    """One-line unicode sparkline of a value sequence."""
+    values = list(values)
+    if not values:
+        return ""
+    low = min(values) if minimum is None else minimum
+    high = max(values) if maximum is None else maximum
+    span = high - low
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    chars = []
+    for value in values:
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        index = max(0, min(len(_SPARK_LEVELS) - 1, index))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def series_chart(
+    series_map: Dict[str, BinnedSeries],
+    width: int = 80,
+    shared_scale: bool = True,
+) -> str:
+    """Multi-series sparkline chart with a shared or per-series scale.
+
+    Each series is resampled (by averaging) to at most ``width`` bins
+    so the chart fits one terminal line per series.
+    """
+    if not series_map:
+        return ""
+    lines: List[str] = []
+    all_values = [
+        value
+        for series in series_map.values()
+        for value, count in zip(series.values, series.counts or [1] * len(series))
+        if count
+    ]
+    low = min(all_values) if all_values else 0.0
+    high = max(all_values) if all_values else 1.0
+    label_width = max(len(label) for label in series_map)
+    for label, series in series_map.items():
+        values = _resample(series, width)
+        if shared_scale:
+            spark = sparkline(values, low, high)
+        else:
+            spark = sparkline(values)
+        lines.append(
+            f"{label.ljust(label_width)}  {spark}  "
+            f"[{min(values):.4f} .. {max(values):.4f}]"
+            if values
+            else f"{label.ljust(label_width)}  (empty)"
+        )
+    return "\n".join(lines)
+
+
+def _resample(series: BinnedSeries, width: int) -> List[float]:
+    """Average consecutive bins down to at most ``width`` points.
+
+    Empty bins (count 0, e.g. HTTPArchive beyond its coverage) are
+    dropped from the tail rather than averaged in as zeros.
+    """
+    counts = series.counts or [1] * len(series.values)
+    pairs = [
+        (value, count)
+        for value, count in zip(series.values, counts)
+        if count
+    ]
+    if not pairs:
+        return []
+    if len(pairs) <= width:
+        return [value for value, _count in pairs]
+    resampled: List[float] = []
+    chunk = len(pairs) / width
+    for index in range(width):
+        start = int(index * chunk)
+        end = max(start + 1, int((index + 1) * chunk))
+        window = pairs[start:end]
+        total_count = sum(count for _v, count in window)
+        resampled.append(
+            sum(value * count for value, count in window) / total_count
+        )
+    return resampled

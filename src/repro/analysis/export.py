@@ -1,0 +1,108 @@
+"""Dataset export.
+
+The paper commits to making all data available; this module writes
+the study outputs in plain CSV so downstream users can re-analyse
+without running the pipeline:
+
+* :func:`export_measurements` — one row per (domain, name form,
+  prefix, origin) with the validation state,
+* :func:`export_domain_summary` — one row per domain with the derived
+  per-domain metrics,
+* :func:`export_series` — any binned series as (bin_start, bin_end,
+  value, count) rows.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.analysis.series import BinnedSeries
+from repro.core.pipeline import StudyResult
+
+
+def export_measurements(
+    result: StudyResult, path: Union[str, Path]
+) -> int:
+    """Write the full pair-level dataset; returns the row count."""
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["rank", "domain", "form", "prefix", "origin_asn", "state"]
+        )
+        for measurement in result.by_rank():
+            for form, name_measurement in (
+                ("www", measurement.www),
+                ("plain", measurement.plain),
+            ):
+                for pair in name_measurement.pairs:
+                    writer.writerow(
+                        [
+                            measurement.rank,
+                            measurement.domain.name,
+                            form,
+                            str(pair.prefix),
+                            int(pair.origin),
+                            str(pair.state),
+                        ]
+                    )
+                    rows += 1
+    return rows
+
+
+def export_domain_summary(
+    result: StudyResult, path: Union[str, Path]
+) -> int:
+    """Write one derived-metrics row per domain; returns the count."""
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "rank", "domain", "usable", "is_cdn", "rpki_enabled",
+                "valid_fraction", "invalid_fraction", "notfound_fraction",
+                "prefix_overlap", "www_cnames", "plain_cnames",
+            ]
+        )
+        for measurement in result.by_rank():
+            valid, invalid, notfound = measurement.state_fractions()
+            overlap = measurement.prefix_overlap()
+            writer.writerow(
+                [
+                    measurement.rank,
+                    measurement.domain.name,
+                    int(measurement.usable),
+                    int(measurement.is_cdn()),
+                    int(measurement.rpki_enabled),
+                    f"{valid:.6f}",
+                    f"{invalid:.6f}",
+                    f"{notfound:.6f}",
+                    "" if overlap is None else f"{overlap:.6f}",
+                    measurement.www.cname_count,
+                    measurement.plain.cname_count,
+                ]
+            )
+            rows += 1
+    return rows
+
+
+def export_series(
+    series_list: Iterable[BinnedSeries], path: Union[str, Path]
+) -> int:
+    """Write one or more binned series in long format."""
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "bin_start", "bin_end", "value", "count"])
+        for series in series_list:
+            for index, value in enumerate(series.values):
+                start, end = series.bin_range(index)
+                count = series.counts[index] if series.counts else ""
+                writer.writerow([series.label, start, end, f"{value:.6f}", count])
+                rows += 1
+    return rows

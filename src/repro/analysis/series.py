@@ -1,0 +1,97 @@
+"""Rank-binned series.
+
+All the paper's figures plot a per-domain quantity aggregated in bins
+of 10,000 Alexa ranks ("after experimenting with different bin
+sizes").  :func:`bin_means` reproduces that aggregation for arbitrary
+bin sizes so the bin-size ablation is a one-liner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class BinnedSeries:
+    """One plotted line: a label plus one value per rank bin."""
+
+    label: str
+    bin_size: int
+    values: List[float]
+    counts: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def bin_range(self, index: int) -> Tuple[int, int]:
+        """Inclusive 1-based rank range of one bin."""
+        start = index * self.bin_size + 1
+        return start, start + self.bin_size - 1
+
+    def mean(self) -> float:
+        if not self.values:
+            return 0.0
+        total_count = sum(self.counts) if self.counts else len(self.values)
+        if self.counts and total_count:
+            weighted = sum(v * c for v, c in zip(self.values, self.counts))
+            return weighted / total_count
+        return sum(self.values) / len(self.values)
+
+    def head_mean(self, bins: int = 10) -> float:
+        """Mean over the first ``bins`` bins (the popular head)."""
+        head = self.values[:bins]
+        return sum(head) / len(head) if head else 0.0
+
+    def tail_mean(self, bins: int = 10) -> float:
+        tail = self.values[-bins:] if self.values else []
+        return sum(tail) / len(tail) if tail else 0.0
+
+    def rows(self) -> List[Tuple[int, int, float]]:
+        """(bin start rank, bin end rank, value) rows for printing."""
+        return [(*self.bin_range(i), v) for i, v in enumerate(self.values)]
+
+    def __repr__(self) -> str:
+        return (
+            f"<BinnedSeries {self.label!r} {len(self.values)} bins "
+            f"of {self.bin_size}>"
+        )
+
+
+def bin_means(
+    per_rank_values: Sequence[Optional[float]],
+    bin_size: int,
+    label: str = "",
+) -> BinnedSeries:
+    """Average a per-rank sequence into rank bins.
+
+    ``None`` entries (domains excluded from a metric) are skipped and
+    do not dilute the bin average.  Index 0 of the input corresponds
+    to rank 1.
+    """
+    if bin_size <= 0:
+        raise ValueError("bin_size must be positive")
+    values: List[float] = []
+    counts: List[int] = []
+    for start in range(0, len(per_rank_values), bin_size):
+        chunk = [
+            value
+            for value in per_rank_values[start:start + bin_size]
+            if value is not None
+        ]
+        counts.append(len(chunk))
+        values.append(sum(chunk) / len(chunk) if chunk else 0.0)
+    return BinnedSeries(label=label, bin_size=bin_size, values=values, counts=counts)
+
+
+def bin_shares(
+    per_rank_flags: Sequence[Optional[bool]],
+    bin_size: int,
+    label: str = "",
+) -> BinnedSeries:
+    """Fraction of True per bin (None entries excluded)."""
+    numeric = [
+        None if flag is None else (1.0 if flag else 0.0)
+        for flag in per_rank_flags
+    ]
+    return bin_means(numeric, bin_size, label)

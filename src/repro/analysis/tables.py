@@ -1,0 +1,45 @@
+"""Plain-text table rendering for benchmark and CLI output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class TextTable:
+    """A minimal fixed-width table renderer."""
+
+    def __init__(self, headers: Sequence[str]):
+        self._headers = [str(h) for h in headers]
+        self._rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self._headers):
+            raise ValueError(
+                f"expected {len(self._headers)} cells, got {len(cells)}"
+            )
+        self._rows.append([self._format(cell) for cell in cells])
+
+    @staticmethod
+    def _format(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4f}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self._headers]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(self._headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in self._rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __str__(self) -> str:
+        return self.render()

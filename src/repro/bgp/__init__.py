@@ -1,0 +1,37 @@
+"""BGP substrate.
+
+Implements everything the paper's step (3) consumes: an AS-level
+topology with business relationships, Gao–Rexford policy-compliant
+route propagation, RIPE-RIS-style route collectors producing table
+dumps, and the prefix-hijack attacker model of Section 2.3.
+"""
+
+from repro.bgp.aspath import ASPath, Segment, SegmentType
+from repro.bgp.collector import RouteCollector, TableDump, TableDumpEntry
+from repro.bgp.errors import BGPError, TopologyError
+from repro.bgp.hijack import HijackOutcome, HijackScenario
+from repro.bgp.messages import Announcement
+from repro.bgp.policy import Relationship, RouteClass
+from repro.bgp.propagation import PropagationEngine, RibEntry
+from repro.bgp.topology import ASNode, ASRole, ASTopology
+
+__all__ = [
+    "ASNode",
+    "ASPath",
+    "ASRole",
+    "ASTopology",
+    "Announcement",
+    "BGPError",
+    "HijackOutcome",
+    "HijackScenario",
+    "PropagationEngine",
+    "Relationship",
+    "RibEntry",
+    "RouteClass",
+    "RouteCollector",
+    "Segment",
+    "SegmentType",
+    "TableDump",
+    "TableDumpEntry",
+    "TopologyError",
+]

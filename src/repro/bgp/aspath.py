@@ -1,0 +1,147 @@
+"""AS paths with AS_SEQUENCE and AS_SET segments.
+
+The paper (Section 3, step 3) derives origin ASes from "the right most
+ASN in the AS path" and *excludes* entries whose origin position is an
+``AS_SET`` "as this leads to an ambiguity of the attribute".  The
+:meth:`ASPath.origin` method returns ``None`` in exactly that case so
+the measurement pipeline can reproduce the exclusion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Tuple, Union
+
+from repro.net import ASN
+from repro.bgp.errors import PathError
+
+
+class SegmentType(enum.Enum):
+    AS_SEQUENCE = "sequence"
+    AS_SET = "set"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One path segment: an ordered sequence or an unordered set."""
+
+    kind: SegmentType
+    asns: Tuple[ASN, ...]
+
+    def __post_init__(self):
+        if not self.asns:
+            raise PathError("empty AS path segment")
+        if self.kind is SegmentType.AS_SET:
+            # Canonicalise set segments so equality is order-insensitive.
+            object.__setattr__(self, "asns", tuple(sorted(set(self.asns))))
+
+    def __str__(self) -> str:
+        numbers = " ".join(str(int(asn)) for asn in self.asns)
+        if self.kind is SegmentType.AS_SET:
+            return "{" + numbers.replace(" ", ",") + "}"
+        return numbers
+
+
+class ASPath:
+    """An immutable AS path (left = nearest speaker, right = origin)."""
+
+    __slots__ = ("_segments",)
+
+    def __init__(self, segments: Iterable[Segment]):
+        self._segments = tuple(segments)
+
+    @classmethod
+    def of(cls, *asns: Union[int, ASN]) -> "ASPath":
+        """Build a pure AS_SEQUENCE path from AS numbers."""
+        if not asns:
+            return cls(())
+        return cls(
+            (Segment(SegmentType.AS_SEQUENCE, tuple(ASN(a) for a in asns)),)
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "ASPath":
+        """Parse a dump-style path, e.g. ``"3320 1299 {64500,64501}"``."""
+        segments = []
+        sequence: list = []
+        for token in text.split():
+            if token.startswith("{"):
+                if sequence:
+                    segments.append(
+                        Segment(SegmentType.AS_SEQUENCE, tuple(sequence))
+                    )
+                    sequence = []
+                inner = token.strip("{}")
+                members = tuple(ASN(int(part)) for part in inner.split(",") if part)
+                segments.append(Segment(SegmentType.AS_SET, members))
+            else:
+                sequence.append(ASN(int(token)))
+        if sequence:
+            segments.append(Segment(SegmentType.AS_SEQUENCE, tuple(sequence)))
+        return cls(segments)
+
+    @property
+    def segments(self) -> Tuple[Segment, ...]:
+        return self._segments
+
+    def prepend(self, asn: Union[int, ASN]) -> "ASPath":
+        """Return a new path with ``asn`` prepended (normal BGP export)."""
+        asn = ASN(asn)
+        if (
+            self._segments
+            and self._segments[0].kind is SegmentType.AS_SEQUENCE
+        ):
+            head = self._segments[0]
+            new_head = Segment(SegmentType.AS_SEQUENCE, (asn,) + head.asns)
+            return ASPath((new_head,) + self._segments[1:])
+        return ASPath(
+            (Segment(SegmentType.AS_SEQUENCE, (asn,)),) + self._segments
+        )
+
+    def origin(self) -> Optional[ASN]:
+        """The right-most ASN, or None when the origin is an AS_SET."""
+        if not self._segments:
+            return None
+        last = self._segments[-1]
+        if last.kind is SegmentType.AS_SET:
+            return None
+        return last.asns[-1]
+
+    def has_as_set(self) -> bool:
+        return any(s.kind is SegmentType.AS_SET for s in self._segments)
+
+    def contains(self, asn: Union[int, ASN]) -> bool:
+        """Loop detection: does the path already include ``asn``?"""
+        target = int(asn)
+        return any(
+            int(member) == target
+            for segment in self._segments
+            for member in segment.asns
+        )
+
+    def __len__(self) -> int:
+        """Path length for route selection: AS_SET counts as one hop
+        (RFC 4271 aggregate semantics)."""
+        return sum(
+            len(s.asns) if s.kind is SegmentType.AS_SEQUENCE else 1
+            for s in self._segments
+        )
+
+    def __iter__(self) -> Iterator[ASN]:
+        for segment in self._segments:
+            yield from segment.asns
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ASPath):
+            return NotImplemented
+        return self._segments == other._segments
+
+    def __hash__(self) -> int:
+        return hash(self._segments)
+
+    def __str__(self) -> str:
+        return " ".join(str(segment) for segment in self._segments)
+
+    def __repr__(self) -> str:
+        return f"ASPath({str(self)!r})"

@@ -1,0 +1,13 @@
+"""Exception hierarchy for the BGP substrate."""
+
+
+class BGPError(Exception):
+    """Base class for BGP failures."""
+
+
+class TopologyError(BGPError):
+    """The AS topology is malformed or an AS is unknown."""
+
+
+class PathError(BGPError):
+    """An AS path is structurally invalid."""

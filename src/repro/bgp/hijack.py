@@ -1,0 +1,185 @@
+"""Prefix-hijack attacker model (paper Section 2.3).
+
+The attacker "is able to redirect network traffic destined to the web
+server by manipulating Internet routing".  A :class:`HijackScenario`
+replays a victim origination together with a malicious origination of
+the same (or a more specific) prefix and reports which ASes end up
+routing towards the attacker — optionally with a set of ASes that
+enforce RPKI origin validation, quantifying how much deployment would
+have helped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set, Union
+
+from repro.bgp.messages import Announcement
+from repro.bgp.propagation import PropagationEngine, RoutingState
+from repro.bgp.topology import ASTopology
+from repro.net import ASN, Address, Prefix
+from repro.rpki.vrp import ValidatedPayloads
+
+
+@dataclass
+class HijackOutcome:
+    """Result of one hijack experiment."""
+
+    victim: ASN
+    attacker: ASN
+    hijacked_prefix: Prefix
+    total_ases: int
+    attacker_captured: Set[ASN] = field(default_factory=set)
+    victim_retained: Set[ASN] = field(default_factory=set)
+    disconnected: Set[ASN] = field(default_factory=set)
+
+    @property
+    def capture_fraction(self) -> float:
+        """Fraction of all ASes whose traffic the attacker receives."""
+        if self.total_ases == 0:
+            return 0.0
+        return len(self.attacker_captured) / self.total_ases
+
+    @property
+    def retained_fraction(self) -> float:
+        if self.total_ases == 0:
+            return 0.0
+        return len(self.victim_retained) / self.total_ases
+
+    # Filled in by interception analysis (None = not analysed).
+    interception: Optional[bool] = None
+    forwarding_path: Optional[List[ASN]] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<HijackOutcome {self.attacker} vs {self.victim}: "
+            f"captured {len(self.attacker_captured)}/{self.total_ases}>"
+        )
+
+
+class HijackScenario:
+    """Replays victim + attacker originations over a topology."""
+
+    def __init__(self, topology: ASTopology):
+        self._topology = topology
+        self._engine = PropagationEngine(topology)
+
+    def run(
+        self,
+        victim_announcement: Announcement,
+        attacker: Union[int, ASN],
+        hijack_prefix: Optional[Union[str, Prefix]] = None,
+        payloads: Optional[ValidatedPayloads] = None,
+        enforcing: FrozenSet[ASN] = frozenset(),
+        target: Optional[Address] = None,
+    ) -> HijackOutcome:
+        """Run the hijack and classify every AS's fate.
+
+        ``hijack_prefix`` defaults to the victim's exact prefix (an
+        origin hijack); pass a more specific prefix for a sub-prefix
+        hijack.  ``target`` is the address whose traffic we trace —
+        defaults to the first address of the victim prefix.
+        """
+        attacker = ASN(attacker)
+        victim_prefix = victim_announcement.prefix
+        if hijack_prefix is None:
+            hijack_prefix = victim_prefix
+        elif isinstance(hijack_prefix, str):
+            hijack_prefix = Prefix.parse(hijack_prefix)
+        if target is None:
+            target = hijack_prefix.nth_address(0)
+
+        announcements = [
+            victim_announcement,
+            Announcement(prefix=hijack_prefix, origin=attacker),
+        ]
+        state = self._engine.propagate(
+            announcements, payloads=payloads, enforcing=enforcing
+        )
+
+        outcome = HijackOutcome(
+            victim=victim_announcement.origin,
+            attacker=attacker,
+            hijacked_prefix=hijack_prefix,
+            total_ases=len(self._topology),
+        )
+        victim = victim_announcement.origin
+        for node in self._topology.ases():
+            fate = self._trace(
+                state, node.asn, target, victim_prefix, hijack_prefix,
+                victim, attacker,
+            )
+            if fate == "attacker":
+                outcome.attacker_captured.add(node.asn)
+            elif fate == "victim":
+                outcome.victim_retained.add(node.asn)
+            else:
+                outcome.disconnected.add(node.asn)
+        self._analyse_interception(
+            state, outcome, victim_prefix, hijack_prefix, target
+        )
+        return outcome
+
+    def _analyse_interception(
+        self,
+        state: RoutingState,
+        outcome: HijackOutcome,
+        victim_prefix: Prefix,
+        hijack_prefix: Prefix,
+        target: Address,
+    ) -> None:
+        """Can the attacker still *deliver* captured traffic?
+
+        Interception (monitor/modify rather than blackhole) requires a
+        working forwarding path from the attacker to the victim whose
+        intermediate hops are not themselves polluted — otherwise the
+        packet boomerangs back to the attacker (Section 2.3's
+        "intercept ... drop, monitor, or modify").
+        """
+        attacker, victim = outcome.attacker, outcome.victim
+        entry = state.route_at(attacker, victim_prefix)
+        if entry is None or entry.origin != victim:
+            # No covering route towards the victim: pure blackhole
+            # (typical for a same-prefix origin hijack).
+            outcome.interception = False
+            return
+        hops = list(entry.path)  # [attacker, ..., victim]
+        for hop in hops[1:-1]:
+            fate = self._trace(
+                state, hop, target, victim_prefix, hijack_prefix,
+                victim, attacker,
+            )
+            if fate != "victim":
+                # The relay AS would bounce the packet back to the
+                # attacker (or drop it): forwarding loops, no delivery.
+                outcome.interception = False
+                return
+        outcome.interception = True
+        outcome.forwarding_path = [ASN(a) for a in hops]
+
+    @staticmethod
+    def _trace(
+        state: RoutingState,
+        asn: ASN,
+        target: Address,
+        victim_prefix: Prefix,
+        hijack_prefix: Prefix,
+        victim: ASN,
+        attacker: ASN,
+    ) -> str:
+        """Longest-prefix-match forwarding decision for one AS."""
+        candidates = []
+        for prefix in {victim_prefix, hijack_prefix}:
+            if prefix.contains(target):
+                entry = state.route_at(asn, prefix)
+                if entry is not None:
+                    candidates.append((prefix.length, entry))
+        if not candidates:
+            return "disconnected"
+        _length, entry = max(candidates, key=lambda item: item[0])
+        origin = entry.origin
+        if origin == attacker:
+            return "attacker"
+        if origin == victim:
+            return "victim"
+        return "disconnected"

@@ -1,0 +1,58 @@
+"""BGP announcements.
+
+An :class:`Announcement` is an origination intent: an AS (or, for
+aggregates, an AS_SET of contributors) starts advertising a prefix.
+The propagation engine turns originations into per-AS routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.bgp.aspath import ASPath, Segment, SegmentType
+from repro.net import ASN, Prefix
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """One prefix origination.
+
+    ``aggregate_members`` turns the origin into an AS_SET (a deprecated
+    aggregate, RFC 6472) — the paper's pipeline must exclude the
+    resulting table entries from origin derivation.
+    """
+
+    prefix: Prefix
+    origin: ASN
+    aggregate_members: Tuple[ASN, ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        prefix: Union[str, Prefix],
+        origin: Union[int, ASN],
+        aggregate_members: Sequence[Union[int, ASN]] = (),
+    ) -> "Announcement":
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        return cls(
+            prefix=prefix,
+            origin=ASN(origin),
+            aggregate_members=tuple(ASN(a) for a in aggregate_members),
+        )
+
+    def initial_path(self) -> ASPath:
+        """The path as it leaves the origin AS."""
+        if self.aggregate_members:
+            return ASPath(
+                (
+                    Segment(SegmentType.AS_SEQUENCE, (self.origin,)),
+                    Segment(SegmentType.AS_SET, self.aggregate_members),
+                )
+            )
+        return ASPath.of(self.origin)
+
+    def __repr__(self) -> str:
+        suffix = f" agg={list(map(int, self.aggregate_members))}" if self.aggregate_members else ""
+        return f"<Announcement {self.prefix} from {self.origin}{suffix}>"

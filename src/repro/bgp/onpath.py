@@ -1,0 +1,76 @@
+"""On-path interference census (paper Section 2.3, the Great Cannon).
+
+"an ISP injected on-path malicious JavaScript code into live network
+traffic to disturb connectivity to GitHub."  Unlike a hijack, an
+on-path attacker needs no routing manipulation at all — it only needs
+to sit on the forwarding path.  This module measures that exposure:
+for a given website prefix, which client ASes' traffic traverses a
+given network, and which networks are the most powerful potential
+injectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.bgp.propagation import RoutingState
+from repro.bgp.topology import ASTopology
+from repro.net import ASN, Prefix
+
+
+def forwarding_path(
+    state: RoutingState, from_asn: Union[int, ASN], prefix: Prefix
+) -> Optional[List[ASN]]:
+    """The AS-level forwarding path from ``from_asn`` to the prefix
+    origin (inclusive of both ends), or None when unreachable."""
+    entry = state.route_at(ASN(from_asn), prefix)
+    if entry is None:
+        return None
+    return [ASN(a) for a in entry.path]
+
+
+def onpath_clients(
+    state: RoutingState, prefix: Prefix, via: Union[int, ASN]
+) -> Set[ASN]:
+    """Client ASes whose traffic to ``prefix`` traverses ``via``.
+
+    The via AS itself and the origin are excluded — the interesting
+    set is third parties whose traffic a middle AS could touch.
+    """
+    via = ASN(via)
+    exposed: Set[ASN] = set()
+    for asn, entry in state.routes_for(prefix).items():
+        if asn == via:
+            continue
+        hops = list(entry.path)
+        # Interior hops only: the first hop is the client itself, the
+        # last is the origin.
+        if via in hops[1:-1]:
+            exposed.add(asn)
+    return exposed
+
+
+def injection_influence(
+    state: RoutingState, prefix: Prefix
+) -> List[Tuple[ASN, int]]:
+    """Rank every AS by how many clients' paths to ``prefix`` cross
+    it — the potential blast radius of a Great-Cannon-style injector.
+    Sorted most powerful first."""
+    counts: Dict[ASN, int] = {}
+    for _asn, entry in state.routes_for(prefix).items():
+        hops = list(entry.path)
+        for via in hops[1:-1]:
+            counts[via] = counts.get(ASN(via), 0) + 1
+    return sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+
+
+def exposure_fraction(
+    state: RoutingState,
+    topology: ASTopology,
+    prefix: Prefix,
+    via: Union[int, ASN],
+) -> float:
+    """Share of all ASes exposed to an injector at ``via``."""
+    if len(topology) == 0:
+        return 0.0
+    return len(onpath_clients(state, prefix, via)) / len(topology)

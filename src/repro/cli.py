@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+``ripki run`` builds a synthetic world, executes the measurement
+study, and prints every figure's series and Table 1 — the same rows
+the benchmark harness checks against the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis import TextTable
+from repro.core import (
+    MeasurementStudy,
+    cdn_as_report,
+    figure1_www_overlap,
+    figure2_rpki_outcome,
+    figure3_cdn_popularity,
+    figure4_rpki_cdn,
+    pipeline_statistics,
+    table1_top_covered,
+)
+from repro.core.reports import render_table1
+from repro.web import EcosystemConfig, HTTPArchiveClassifier, WebEcosystem
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ripki",
+        description="Reproduce the RiPKI (HotNets 2015) measurement study.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    run = sub.add_parser("run", help="build a world and run the full study")
+    run.add_argument("--domains", type=int, default=20_000,
+                     help="population size (the paper used 1M)")
+    run.add_argument("--seed", type=int, default=2015)
+    run.add_argument("--bins", type=int, default=None,
+                     help="rank bin size (default: population/100)")
+    run.add_argument("--figure", choices=["1", "2", "3", "4", "table1", "cdn-as"],
+                     action="append", default=None,
+                     help="restrict output (repeatable)")
+
+    export = sub.add_parser(
+        "export",
+        help="build a world, run the study, write the datasets as CSV "
+             "plus a RIS-style table dump (the paper: 'All data will "
+             "be made available')",
+    )
+    export.add_argument("--domains", type=int, default=20_000)
+    export.add_argument("--seed", type=int, default=2015)
+    export.add_argument("--outdir", default="ripki-data",
+                        help="output directory (created if missing)")
+
+    audit = sub.add_parser(
+        "audit",
+        help="per-domain delivery-security report (Section 5.1): grade, "
+             "prefix inventory, RPKI verdicts, actionable findings",
+    )
+    audit.add_argument("--domains", type=int, default=5_000)
+    audit.add_argument("--seed", type=int, default=2015)
+    audit.add_argument("--rank", type=int, action="append", default=None,
+                       help="rank(s) to audit (repeatable; default: 1-5)")
+    return parser
+
+
+def _print_series(title: str, series_map, limit: int = 20) -> None:
+    from repro.analysis.charts import series_chart
+
+    print(f"\n== {title} ==")
+    labels = list(series_map)
+    table = TextTable(["bin (ranks)"] + [series_map[l].label for l in labels])
+    first = series_map[labels[0]]
+    step = max(1, len(first) // limit)
+    for index in range(0, len(first), step):
+        start, end = first.bin_range(index)
+        table.add_row(
+            f"{start}-{end}",
+            *(series_map[l].values[index] for l in labels),
+        )
+    print(table.render())
+    print(series_chart(series_map, width=60, shared_scale=False))
+    for label in labels:
+        series = series_map[label]
+        print(
+            f"  {series.label}: mean={series.mean():.4f} "
+            f"head={series.head_mean(10):.4f} tail={series.tail_mean(10):.4f}"
+        )
+
+
+def run_study(args: argparse.Namespace) -> int:
+    wanted = set(args.figure or ["1", "2", "3", "4", "table1", "cdn-as"])
+    print(f"building world: {args.domains} domains, seed {args.seed} ...")
+    started = time.time()
+    world = WebEcosystem.build(
+        EcosystemConfig(domain_count=args.domains, seed=args.seed)
+    )
+    print(f"  built in {time.time() - started:.1f}s: {world!r}")
+    started = time.time()
+    result = MeasurementStudy.from_ecosystem(world).run()
+    print(f"  measured in {time.time() - started:.1f}s")
+
+    stats = pipeline_statistics(result)
+    print("\n== Section 4 statistics ==")
+    for key, value in stats.items():
+        print(f"  {key}: {value}")
+
+    if "1" in wanted:
+        series = figure1_www_overlap(result, args.bins)
+        _print_series("Figure 1: equal prefixes www vs w/o www", {"=": series})
+    if "2" in wanted:
+        _print_series(
+            "Figure 2: RPKI validation outcome",
+            figure2_rpki_outcome(result, args.bins),
+        )
+    if "3" in wanted:
+        classifier = HTTPArchiveClassifier(
+            world.namespace, coverage=max(1, args.domains * 3 // 10)
+        )
+        archive = classifier.classify_all(world.ranking)
+        _print_series(
+            "Figure 3: CDN popularity (two heuristics)",
+            figure3_cdn_popularity(result, archive, classifier.coverage, args.bins),
+        )
+    if "4" in wanted:
+        _print_series(
+            "Figure 4: RPKI deployment, overall vs CDN-hosted",
+            figure4_rpki_cdn(result, args.bins),
+        )
+    if "table1" in wanted:
+        print("\n== Table 1: top domains with RPKI coverage ==")
+        print(render_table1(table1_top_covered(result)))
+    if "cdn-as" in wanted:
+        print("\n== Section 4.2: CDN ASes in the RPKI ==")
+        print("  " + cdn_as_report(world).summary())
+    return 0
+
+
+def run_export(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.export import (
+        export_domain_summary,
+        export_measurements,
+        export_series,
+    )
+    from repro.bgp.dumps import write_dump
+
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    print(f"building world: {args.domains} domains, seed {args.seed} ...")
+    world = WebEcosystem.build(
+        EcosystemConfig(domain_count=args.domains, seed=args.seed)
+    )
+    result = MeasurementStudy.from_ecosystem(world).run()
+
+    rows = export_measurements(result, outdir / "pairs.csv")
+    print(f"  pairs.csv: {rows} rows")
+    rows = export_domain_summary(result, outdir / "domains.csv")
+    print(f"  domains.csv: {rows} rows")
+    fig2 = figure2_rpki_outcome(result)
+    fig4 = figure4_rpki_cdn(result)
+    rows = export_series(
+        [figure1_www_overlap(result), *fig2.values(), *fig4.values()],
+        outdir / "series.csv",
+    )
+    print(f"  series.csv: {rows} rows")
+    rows = write_dump(world.table_dump, outdir / "table.dump")
+    print(f"  table.dump: {rows} rows (RIS-style)")
+    return 0
+
+
+def run_audit(args: argparse.Namespace) -> int:
+    from repro.core.transparency import audit_domain, render_report
+
+    print(f"building world: {args.domains} domains, seed {args.seed} ...")
+    world = WebEcosystem.build(
+        EcosystemConfig(domain_count=args.domains, seed=args.seed)
+    )
+    ranks = args.rank or [1, 2, 3, 4, 5]
+    for rank in ranks:
+        if not 1 <= rank <= len(world.ranking):
+            print(f"rank {rank} out of range, skipping")
+            continue
+        domain = world.ranking.domain_at_rank(rank)
+        print()
+        print(render_report(audit_domain(world, domain.name)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return run_study(args)
+    if args.command == "export":
+        return run_export(args)
+    if args.command == "audit":
+        return run_audit(args)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""CDN detection via CNAME chains (Section 4.3).
+
+"We say a domain is served by a CDN, if the IP address of its domain
+name is indirectly accessed via two or more CNAMEs."  The heuristic
+is deliberately conservative: single-CNAME CDN deployments are missed,
+which is why the paper cross-checks against HTTPArchive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.records import DomainMeasurement
+
+DEFAULT_MIN_CNAMES = 2
+
+
+@dataclass(frozen=True)
+class ChainHeuristic:
+    """The chain-length CDN classifier with a tunable threshold."""
+
+    min_cnames: int = DEFAULT_MIN_CNAMES
+
+    def is_cdn(self, measurement: DomainMeasurement) -> bool:
+        return measurement.is_cdn(self.min_cnames)
+
+    def classify_all(
+        self, measurements: Iterable[DomainMeasurement]
+    ) -> Dict[str, bool]:
+        return {
+            m.domain.name: self.is_cdn(m)
+            for m in measurements
+        }
+
+    def agreement(
+        self,
+        measurements: Iterable[DomainMeasurement],
+        reference: Dict[str, str],
+    ) -> Dict[str, int]:
+        """Confusion counts against a reference classification.
+
+        ``reference`` maps domain name -> CDN operator for domains the
+        reference (e.g. HTTPArchive) deems CDN-served.
+        """
+        counts = {"both": 0, "chain_only": 0, "reference_only": 0, "neither": 0}
+        for measurement in measurements:
+            chain = self.is_cdn(measurement)
+            ref = measurement.domain.name in reference
+            if chain and ref:
+                counts["both"] += 1
+            elif chain:
+                counts["chain_only"] += 1
+            elif ref:
+                counts["reference_only"] += 1
+            else:
+                counts["neither"] += 1
+        return counts

@@ -1,0 +1,101 @@
+"""Section 5.2 — what the RPKI reveals about business relations.
+
+"As soon as at least one ROA for an IP prefix exists, all valid
+origin ASes for this IP prefix need to be assigned in the RPKI ...
+it is very likely that the ROA information indicates a business
+relation between prefix owner and authorized origin AS."  And unlike
+BGP collectors, the RPKI is "a catalog which ... documents
+information in advance" — backup arrangements are visible *before*
+any route is ever announced.
+
+:func:`analyse_exposure` compares the org-level relations readable
+from the validated ROA set against those observable in collector
+table dumps, and reports the relations only the RPKI discloses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.bgp import TableDump
+from repro.net import ASN, Prefix
+from repro.rpki import ValidatedPayloads
+
+Relation = Tuple[str, str]  # (prefix owner org, authorized/origin org)
+
+
+@dataclass
+class ExposureReport:
+    """Org-level relation visibility under RPKI vs public BGP data."""
+
+    roa_relations: Set[Relation] = field(default_factory=set)
+    bgp_relations: Set[Relation] = field(default_factory=set)
+
+    @property
+    def rpki_only(self) -> Set[Relation]:
+        """Relations the RPKI documents that BGP never showed."""
+        return self.roa_relations - self.bgp_relations
+
+    @property
+    def exposure_count(self) -> int:
+        return len(self.rpki_only)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.roa_relations)} org relations in ROAs, "
+            f"{len(self.bgp_relations)} visible in BGP, "
+            f"{self.exposure_count} exposed only by the RPKI"
+        )
+
+
+def analyse_exposure(world) -> ExposureReport:
+    """Build the exposure report for a built ecosystem.
+
+    A *relation* is a pair of distinct organisations (prefix owner,
+    origin-AS owner).  Same-org pairs (an org authorizing its own AS)
+    reveal nothing and are skipped on both sides.
+    """
+    report = ExposureReport()
+    owner_of_prefix: Dict[Prefix, str] = {}
+    owner_of_asn: Dict[ASN, str] = {}
+    for org in world.organisations:
+        for prefix in org.prefixes:
+            owner_of_prefix[prefix] = org.name
+        for asn in org.asns:
+            owner_of_asn[asn] = org.name
+
+    def relation(prefix: Prefix, asn: ASN) -> Optional[Relation]:
+        owner = _covering_owner(owner_of_prefix, prefix)
+        authorized = owner_of_asn.get(asn)
+        if owner is None or authorized is None or owner == authorized:
+            return None
+        return (owner, authorized)
+
+    for vrp in world.payloads():
+        pair = relation(vrp.prefix, vrp.asn)
+        if pair is not None:
+            report.roa_relations.add(pair)
+
+    for entry in world.table_dump:
+        origin = entry.origin
+        if origin is None:
+            continue
+        pair = relation(entry.prefix, origin)
+        if pair is not None:
+            report.bgp_relations.add(pair)
+
+    return report
+
+
+def _covering_owner(
+    owner_of_prefix: Dict[Prefix, str], prefix: Prefix
+) -> Optional[str]:
+    """Owner of the prefix, or of the closest covering allocation."""
+    if prefix in owner_of_prefix:
+        return owner_of_prefix[prefix]
+    for length in range(prefix.length - 1, 7, -1):
+        candidate = prefix.supernet(length)
+        if candidate in owner_of_prefix:
+            return owner_of_prefix[candidate]
+    return None

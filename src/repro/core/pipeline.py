@@ -1,0 +1,152 @@
+"""The end-to-end measurement study (Section 3).
+
+:class:`MeasurementStudy` runs steps 1–4 for every ranked domain and
+returns a :class:`StudyResult` — "a comprehensive list of all Alexa
+websites that (i) can be resolved from our DNS vantage point and (ii)
+mapped to an IP prefix AS pair ... (iii) annotated with RPKI origin
+validation outcome."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.bgp import TableDump
+from repro.dns import PublicResolver
+from repro.rpki import ValidatedPayloads
+from repro.web.alexa import AlexaRanking, Domain
+from repro.core.dns_mapping import measure_name
+from repro.core.prefix_mapping import map_addresses
+from repro.core.records import DomainMeasurement, NameMeasurement
+from repro.core.rpki_validation import validate_pairs
+
+
+@dataclass
+class StudyStatistics:
+    """The aggregate counters Section 4 reports in its first paragraph."""
+
+    domain_count: int = 0
+    invalid_dns_domains: int = 0      # excluded: only special-purpose answers
+    www_addresses: int = 0
+    plain_addresses: int = 0
+    www_pairs: int = 0
+    plain_pairs: int = 0
+    unreachable_addresses: int = 0
+    as_set_exclusions: int = 0
+
+    @property
+    def total_addresses(self) -> int:
+        return self.www_addresses + self.plain_addresses
+
+    @property
+    def invalid_dns_fraction(self) -> float:
+        if not self.domain_count:
+            return 0.0
+        return self.invalid_dns_domains / self.domain_count
+
+    @property
+    def unreachable_fraction(self) -> float:
+        if not self.total_addresses:
+            return 0.0
+        return self.unreachable_addresses / self.total_addresses
+
+
+class StudyResult:
+    """All per-domain measurements plus the aggregate statistics."""
+
+    def __init__(
+        self,
+        measurements: List[DomainMeasurement],
+        statistics: StudyStatistics,
+    ):
+        self._measurements = measurements
+        self.statistics = statistics
+        self._by_name: Dict[str, DomainMeasurement] = {
+            m.domain.name: m for m in measurements
+        }
+
+    def __len__(self) -> int:
+        return len(self._measurements)
+
+    def __iter__(self) -> Iterator[DomainMeasurement]:
+        return iter(self._measurements)
+
+    def by_rank(self) -> List[DomainMeasurement]:
+        """Measurements ordered by rank (rank 1 first)."""
+        return sorted(self._measurements, key=lambda m: m.rank)
+
+    def lookup(self, name: str) -> Optional[DomainMeasurement]:
+        return self._by_name.get(name)
+
+    def usable(self) -> List[DomainMeasurement]:
+        return [m for m in self._measurements if m.usable]
+
+    def __repr__(self) -> str:
+        return f"<StudyResult {len(self._measurements)} domains>"
+
+
+class MeasurementStudy:
+    """Configured instance of the four-step methodology."""
+
+    def __init__(
+        self,
+        ranking: AlexaRanking,
+        resolver: PublicResolver,
+        table_dump: TableDump,
+        payloads: ValidatedPayloads,
+    ):
+        self._ranking = ranking
+        self._resolver = resolver
+        self._dump = table_dump
+        self._payloads = payloads
+
+    @classmethod
+    def from_ecosystem(cls, world, resolver_index: int = 0) -> "MeasurementStudy":
+        """Convenience constructor over a built :class:`WebEcosystem`."""
+        return cls(
+            ranking=world.ranking,
+            resolver=world.resolvers()[resolver_index],
+            table_dump=world.table_dump,
+            payloads=world.payloads(),
+        )
+
+    def run(self) -> StudyResult:
+        """Execute steps 2-4 for every domain of the ranking."""
+        measurements: List[DomainMeasurement] = []
+        stats = StudyStatistics(domain_count=len(self._ranking))
+        for domain in self._ranking:
+            measurement = self.measure_domain(domain)
+            measurements.append(measurement)
+            self._accumulate(stats, measurement)
+        return StudyResult(measurements, stats)
+
+    def measure_domain(self, domain: Domain) -> DomainMeasurement:
+        """Steps 2-4 for one domain (both name forms)."""
+        www = self._measure_form(domain.www_name)
+        plain = self._measure_form(domain.name)
+        return DomainMeasurement(domain=domain, www=www, plain=plain)
+
+    def _measure_form(self, name: str) -> NameMeasurement:
+        measurement = measure_name(self._resolver, name)
+        if measurement.resolved and measurement.addresses:
+            pairs = map_addresses(self._dump, measurement)
+            measurement.pairs = validate_pairs(self._payloads, pairs)
+        return measurement
+
+    @staticmethod
+    def _accumulate(stats: StudyStatistics, measurement: DomainMeasurement) -> None:
+        www, plain = measurement.www, measurement.plain
+        resolved_forms = [form for form in (www, plain) if form.resolved]
+        if resolved_forms and all(
+            not form.addresses and form.excluded_special for form in resolved_forms
+        ):
+            stats.invalid_dns_domains += 1
+        stats.www_addresses += len(www.addresses)
+        stats.plain_addresses += len(plain.addresses)
+        stats.www_pairs += len(www.pairs)
+        stats.plain_pairs += len(plain.pairs)
+        stats.unreachable_addresses += (
+            www.unreachable_addresses + plain.unreachable_addresses
+        )
+        stats.as_set_exclusions += www.as_set_excluded + plain.as_set_excluded

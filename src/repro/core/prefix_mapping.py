@@ -1,0 +1,40 @@
+"""Step 3 — mapping IP addresses to prefixes and origin ASes.
+
+For each address, every covering prefix in the collector table dump
+contributes a (prefix, origin AS) pair, where the origin is the
+right-most ASN of the AS path.  Rows whose origin position is an
+AS_SET are excluded (the attribute is ambiguous and deprecated,
+RFC 6472); addresses without any covering prefix count as
+unreachable from the BGP vantage point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.bgp import TableDump
+from repro.net import ASN, Address, Prefix
+from repro.core.records import NameMeasurement
+
+
+def map_addresses(
+    dump: TableDump, measurement: NameMeasurement
+) -> List[Tuple[Prefix, ASN]]:
+    """Derive the distinct (prefix, origin) pairs for a measurement.
+
+    Side effects on ``measurement``: counts unreachable addresses and
+    AS_SET-excluded rows.
+    """
+    pairs: Set[Tuple[Prefix, ASN]] = set()
+    for address in measurement.addresses:
+        entries = dump.covering_entries(address)
+        if not entries:
+            measurement.unreachable_addresses += 1
+            continue
+        for entry in entries:
+            origin = entry.origin
+            if origin is None:
+                measurement.as_set_excluded += 1
+                continue
+            pairs.add((entry.prefix, origin))
+    return sorted(pairs)

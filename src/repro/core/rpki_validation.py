@@ -1,0 +1,29 @@
+"""Step 4 — RPKI origin validation of prefix/origin pairs.
+
+Every (prefix, origin AS) pair from step 3 is validated against the
+Validated ROA Payloads produced by the relying party: *valid*,
+*invalid*, or *not found* (RFC 6811).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.net import ASN, Prefix
+from repro.rpki import ValidatedPayloads
+from repro.core.records import PrefixOriginPair
+
+
+def validate_pairs(
+    payloads: ValidatedPayloads,
+    pairs: Iterable[Tuple[Prefix, ASN]],
+) -> List[PrefixOriginPair]:
+    """Annotate each pair with its origin-validation outcome."""
+    return [
+        PrefixOriginPair(
+            prefix=prefix,
+            origin=origin,
+            state=payloads.validate_origin(prefix, origin),
+        )
+        for prefix, origin in pairs
+    ]

@@ -1,0 +1,162 @@
+"""Section 5.1 — a delivery-security transparency report.
+
+"We are left with a surprisingly basic but still unanswered question:
+How can a content owner easily verify that his content is reliably
+and securely delivered in the current Web ecosystem?" — and the paper
+argues "new systems should be devised that increase transparency".
+
+:func:`audit_domain` is that system for the synthetic world: one call
+produces a per-domain report covering DNS health, resolver agreement,
+CDN dependence, the full prefix/origin inventory, RPKI coverage with
+per-pair verdicts, optional DNSSEC status, and the residual hijack
+attack surface (unprotected prefixes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cdn_detection import ChainHeuristic
+from repro.core.dns_mapping import cross_check
+from repro.core.pipeline import MeasurementStudy
+from repro.core.records import DomainMeasurement, PrefixOriginPair
+from repro.net import Prefix
+from repro.rpki.vrp import OriginValidation
+from repro.web.alexa import Domain
+
+
+@dataclass
+class TransparencyReport:
+    """Everything a content owner needs to see at a glance."""
+
+    domain: Domain
+    resolvable: bool = False
+    resolver_agreement: bool = True
+    uses_cdn: bool = False
+    pairs: List[PrefixOriginPair] = field(default_factory=list)
+    unprotected_prefixes: List[Prefix] = field(default_factory=list)
+    invalid_pairs: List[PrefixOriginPair] = field(default_factory=list)
+    www_coverage_label: str = "n/a"
+    plain_coverage_label: str = "n/a"
+    dnssec_status: Optional[str] = None
+
+    @property
+    def fully_protected(self) -> bool:
+        return (
+            self.resolvable
+            and bool(self.pairs)
+            and not self.unprotected_prefixes
+            and not self.invalid_pairs
+        )
+
+    @property
+    def grade(self) -> str:
+        """A one-letter verdict: A full, B partial, C none, F broken."""
+        if not self.resolvable:
+            return "F"
+        if self.invalid_pairs:
+            return "F"
+        if not self.pairs:
+            return "F"
+        if self.fully_protected:
+            return "A"
+        covered = len(self.pairs) - len(self.unprotected_prefixes)
+        return "B" if covered else "C"
+
+    def issues(self) -> List[str]:
+        """Actionable findings, most severe first."""
+        findings: List[str] = []
+        if not self.resolvable:
+            findings.append("domain does not resolve to routable addresses")
+            return findings
+        for pair in self.invalid_pairs:
+            findings.append(
+                f"announcement {pair.prefix} via {pair.origin} is RPKI-"
+                f"invalid (misconfigured ROA or hijack in progress)"
+            )
+        for prefix in self.unprotected_prefixes:
+            findings.append(
+                f"prefix {prefix} has no ROA: hijackable without any "
+                f"validator noticing"
+            )
+        if self.uses_cdn and self.unprotected_prefixes:
+            findings.append(
+                "content rides a CDN whose address space is unsigned — "
+                "ask the CDN about their RPKI roadmap"
+            )
+        if not self.resolver_agreement:
+            findings.append(
+                "public resolvers disagree on the address set "
+                "(CDN steering or cache inconsistency)"
+            )
+        if self.dnssec_status == "insecure":
+            findings.append("zone is not DNSSEC-signed")
+        elif self.dnssec_status == "bogus":
+            findings.append("DNSSEC validation fails (BOGUS) — check keys")
+        return findings
+
+
+def audit_domain(
+    world,
+    domain_name: str,
+    dnssec_deployment=None,
+) -> TransparencyReport:
+    """Audit one domain of a built world."""
+    domain = next(
+        (d for d in world.ranking if d.name == domain_name), None
+    )
+    if domain is None:
+        raise KeyError(f"unknown domain: {domain_name!r}")
+
+    study = MeasurementStudy.from_ecosystem(world)
+    measurement = study.measure_domain(domain)
+    report = TransparencyReport(domain=domain)
+    report.resolvable = measurement.usable
+    report.uses_cdn = ChainHeuristic().is_cdn(measurement)
+    report.pairs = measurement.combined_pairs()
+    report.invalid_pairs = [
+        p for p in report.pairs if p.state is OriginValidation.INVALID
+    ]
+    report.unprotected_prefixes = sorted(
+        {p.prefix for p in report.pairs if p.state is OriginValidation.NOT_FOUND}
+    )
+    report.www_coverage_label = measurement.www.coverage_label()
+    report.plain_coverage_label = measurement.plain.coverage_label()
+
+    agree, _measurements = cross_check(world.resolvers(), domain.name)
+    report.resolver_agreement = agree
+
+    if dnssec_deployment is not None:
+        from repro.web.dnssec_adoption import rrset_for_validation
+
+        records = rrset_for_validation(world.namespace, domain.name)
+        status = dnssec_deployment.status_for(domain.name, records)
+        report.dnssec_status = str(status)
+    return report
+
+
+def render_report(report: TransparencyReport) -> str:
+    """Human-readable rendering of a report."""
+    lines = [
+        f"Delivery security report for {report.domain.name} "
+        f"(rank {report.domain.rank})",
+        f"  grade: {report.grade}",
+        f"  resolves: {report.resolvable}   "
+        f"resolver agreement: {report.resolver_agreement}   "
+        f"CDN-served: {report.uses_cdn}",
+        f"  RPKI coverage: www {report.www_coverage_label}, "
+        f"w/o www {report.plain_coverage_label}",
+    ]
+    if report.dnssec_status is not None:
+        lines.append(f"  DNSSEC: {report.dnssec_status}")
+    lines.append(f"  prefix/origin inventory ({len(report.pairs)}):")
+    for pair in report.pairs:
+        lines.append(f"    {pair}")
+    findings = report.issues()
+    lines.append(f"  findings ({len(findings)}):")
+    for finding in findings:
+        lines.append(f"    - {finding}")
+    if not findings:
+        lines.append("    (none — fully protected)")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""From-scratch cryptographic substrate for the RPKI.
+
+The RPKI relying-party validator must *cryptographically* validate
+certificates and ROAs before using them (paper Section 3, step 4:
+"Only cryptographically correct ROAs are further used").  This package
+implements everything needed for that from scratch: a deterministic
+CSPRNG-style generator (so whole synthetic PKIs are reproducible),
+Miller–Rabin primality testing, RSA key generation, and PKCS#1 v1.5
+signatures over SHA-256.
+
+Keys default to 512 bits: comfortably strong enough to make forged or
+corrupted objects fail verification in tests, while keeping bulk key
+generation for thousands of synthetic CAs fast.
+"""
+
+from repro.crypto.digest import sha256, sha256_hex
+from repro.crypto.errors import CryptoError, SignatureError
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.primes import generate_prime, is_probable_prime
+from repro.crypto.rng import DeterministicRNG
+from repro.crypto.rsa import generate_keypair, sign, verify
+
+__all__ = [
+    "CryptoError",
+    "DeterministicRNG",
+    "KeyPair",
+    "PublicKey",
+    "SignatureError",
+    "generate_keypair",
+    "generate_prime",
+    "is_probable_prime",
+    "sha256",
+    "sha256_hex",
+    "sign",
+    "verify",
+]

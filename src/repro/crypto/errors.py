@@ -1,0 +1,13 @@
+"""Exception hierarchy for the crypto substrate."""
+
+
+class CryptoError(Exception):
+    """Base class for crypto failures."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed to verify or could not be produced."""
+
+
+class KeyError_(CryptoError):
+    """A key is malformed (name avoids shadowing the builtin)."""

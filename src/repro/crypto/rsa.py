@@ -1,0 +1,78 @@
+"""RSA key generation and PKCS#1 v1.5 signatures over SHA-256.
+
+This is a from-scratch textbook implementation: modular
+exponentiation via :func:`pow`, EMSA-PKCS1-v1_5 style padding with a
+SHA-256 ``DigestInfo`` prefix, constant public exponent 65537.  It is
+used by the RPKI substrate so corrupted or forged objects genuinely
+fail verification.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.digest import sha256
+from repro.crypto.errors import SignatureError
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.primes import generate_prime
+from repro.crypto.rng import DeterministicRNG
+
+PUBLIC_EXPONENT = 65537
+
+# DER prefix of DigestInfo for SHA-256 (RFC 8017, section 9.2).
+_SHA256_DIGEST_INFO = bytes.fromhex(
+    "3031300d060960864801650304020105000420"
+)
+
+DEFAULT_KEY_BITS = 512
+MIN_KEY_BITS = 512
+
+
+def generate_keypair(rng: DeterministicRNG, bits: int = DEFAULT_KEY_BITS) -> KeyPair:
+    """Generate an RSA key pair of roughly ``bits`` modulus bits."""
+    if bits < MIN_KEY_BITS:
+        raise ValueError(
+            f"modulus below {MIN_KEY_BITS} bits cannot carry a SHA-256 signature"
+        )
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % PUBLIC_EXPONENT == 0:
+            continue
+        d = pow(PUBLIC_EXPONENT, -1, phi)
+        return KeyPair(PublicKey(n, PUBLIC_EXPONENT), d)
+
+
+def _emsa_encode(message: bytes, target_length: int) -> int:
+    """EMSA-PKCS1-v1_5 encoding of SHA-256(message)."""
+    digest_info = _SHA256_DIGEST_INFO + sha256(message)
+    padding_length = target_length - len(digest_info) - 3
+    if padding_length < 8:
+        raise SignatureError(
+            f"modulus too small for PKCS#1 v1.5 with SHA-256 "
+            f"({target_length} bytes available)"
+        )
+    encoded = b"\x00\x01" + b"\xff" * padding_length + b"\x00" + digest_info
+    return int.from_bytes(encoded, "big")
+
+
+def sign(message: bytes, keypair: KeyPair) -> int:
+    """Produce a PKCS#1 v1.5 signature over ``message``."""
+    encoded = _emsa_encode(message, keypair.public.byte_length)
+    return pow(encoded, keypair.private_exponent, keypair.modulus)
+
+
+def verify(message: bytes, signature: int, public_key: PublicKey) -> bool:
+    """Check a signature; returns False on any mismatch (never raises
+    for a wrong signature, only for structurally impossible inputs)."""
+    if not 0 <= signature < public_key.modulus:
+        return False
+    try:
+        expected = _emsa_encode(message, public_key.byte_length)
+    except SignatureError:
+        return False
+    recovered = pow(signature, PUBLIC_EXPONENT, public_key.modulus)
+    return recovered == expected

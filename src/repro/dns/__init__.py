@@ -1,0 +1,26 @@
+"""DNS substrate.
+
+Provides what the paper's step (2) needs: a global namespace of
+resource records (A/AAAA/CNAME), vantage-dependent answers (CDNs
+direct different resolvers to different caches), and a recursive
+resolver that follows CNAME chains — the chains the CDN-detection
+heuristic of Section 4.3 counts.
+"""
+
+from repro.dns.errors import DNSError, ResolutionError
+from repro.dns.records import RecordType, ResourceRecord
+from repro.dns.resolver import Answer, RCode, RecursiveResolver
+from repro.dns.namespace import Namespace
+from repro.dns.vantage import PublicResolver
+
+__all__ = [
+    "Answer",
+    "DNSError",
+    "Namespace",
+    "PublicResolver",
+    "RCode",
+    "RecordType",
+    "RecursiveResolver",
+    "ResolutionError",
+    "ResourceRecord",
+]

@@ -1,0 +1,26 @@
+"""DNSSEC substrate (RFC 4033-4035, simplified but cryptographically real).
+
+The paper's conclusion announces a comparison of RPKI deployment
+"with the adoption of other core protocols such as DNSSEC"; this
+package provides the machinery for that extension experiment:
+
+* signed zones with zone keys (DNSKEY), delegation signer records
+  (DS) linking parents to children, and RRSIG signatures over record
+  sets — all using the same from-scratch RSA as the RPKI,
+* a validating resolver that walks the chain of trust from the root
+  trust anchor and classifies answers as SECURE / INSECURE / BOGUS.
+"""
+
+from repro.dns.dnssec.records import DNSKEYRecord, DSRecord, RRSIGRecord
+from repro.dns.dnssec.zone import SignedZone, ZoneTree
+from repro.dns.dnssec.validator import SecurityStatus, ValidatingResolver
+
+__all__ = [
+    "DNSKEYRecord",
+    "DSRecord",
+    "RRSIGRecord",
+    "SecurityStatus",
+    "SignedZone",
+    "ValidatingResolver",
+    "ZoneTree",
+]

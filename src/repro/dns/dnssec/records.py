@@ -1,0 +1,73 @@
+"""DNSSEC record types: DNSKEY, DS, RRSIG."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.crypto.digest import canonical_bytes, sha256_hex
+from repro.crypto.keys import PublicKey
+
+
+@dataclass(frozen=True)
+class DNSKEYRecord:
+    """A zone's public signing key."""
+
+    zone: str
+    public_key: PublicKey
+
+    def key_tag(self) -> str:
+        """Short identifier of the key (analogue of the RFC key tag)."""
+        return self.public_key.fingerprint()[:16]
+
+
+@dataclass(frozen=True)
+class DSRecord:
+    """Delegation Signer: the parent's commitment to a child key.
+
+    The digest binds the child zone name and its DNSKEY, so swapping
+    the child key breaks the chain unless the parent re-signs.
+    """
+
+    child_zone: str
+    digest: str
+
+    @classmethod
+    def for_key(cls, dnskey: DNSKEYRecord) -> "DSRecord":
+        blob = canonical_bytes(
+            {"zone": dnskey.zone, "key": dnskey.public_key.to_dict()}
+        )
+        return cls(child_zone=dnskey.zone, digest=sha256_hex(blob))
+
+    def matches(self, dnskey: DNSKEYRecord) -> bool:
+        return (
+            dnskey.zone == self.child_zone
+            and DSRecord.for_key(dnskey).digest == self.digest
+        )
+
+
+@dataclass(frozen=True)
+class RRSIGRecord:
+    """A signature over one name's record set within a zone."""
+
+    name: str            # the owner name (fqdn) the rrset belongs to
+    zone: str            # signing zone
+    covered_digest: str  # digest of the canonical rrset
+    signature: int
+    key_tag: str
+
+    def signed_blob(self) -> bytes:
+        return canonical_bytes(
+            {
+                "name": self.name,
+                "zone": self.zone,
+                "rrset": self.covered_digest,
+            }
+        )
+
+
+def rrset_digest(name: str, records: Tuple[str, ...]) -> str:
+    """Canonical digest of a record set (order-insensitive)."""
+    return sha256_hex(
+        canonical_bytes({"name": name, "records": sorted(records)})
+    )

@@ -1,0 +1,9 @@
+"""Exception hierarchy for the DNS substrate."""
+
+
+class DNSError(Exception):
+    """Base class for DNS failures."""
+
+
+class ResolutionError(DNSError):
+    """A name could not be resolved (loop, chain too long, ...)."""

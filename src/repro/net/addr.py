@@ -1,0 +1,346 @@
+"""IPv4/IPv6 address and prefix value types.
+
+Both types are immutable, hashable, and totally ordered (first by
+address family, then numerically).  Parsing and formatting are
+implemented from scratch, including IPv6 zero compression and embedded
+IPv4 notation, so the package has no dependency beyond the standard
+library.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterator, Tuple, Union
+
+from repro.net.errors import AddressError, PrefixError
+
+IPV4 = 4
+IPV6 = 6
+
+_BITS = {IPV4: 32, IPV6: 128}
+_MAX = {IPV4: (1 << 32) - 1, IPV6: (1 << 128) - 1}
+
+
+def family_bits(family: int) -> int:
+    """Return the address width in bits for an address family (4 or 6)."""
+    try:
+        return _BITS[family]
+    except KeyError:
+        raise AddressError(f"unknown address family: {family!r}") from None
+
+
+def _parse_ipv4(text: str) -> int:
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"invalid IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise AddressError(f"invalid IPv4 octet in {text!r}: {part!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"IPv4 octet out of range in {text!r}: {part!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def _format_ipv4(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def _parse_ipv6(text: str) -> int:
+    if not text:
+        raise AddressError("empty IPv6 address")
+    # Embedded IPv4 in the last group, e.g. ::ffff:192.0.2.1
+    tail_groups = []
+    if "." in text:
+        head, _, ipv4_part = text.rpartition(":")
+        if not head:
+            raise AddressError(f"invalid IPv6 address: {text!r}")
+        ipv4_value = _parse_ipv4(ipv4_part)
+        tail_groups = [ipv4_value >> 16, ipv4_value & 0xFFFF]
+        text = head
+        if text.endswith(":") and not text.endswith("::"):
+            raise AddressError(f"invalid IPv6 address near {ipv4_part!r}")
+
+    if text.count("::") > 1:
+        raise AddressError(f"multiple '::' in IPv6 address: {text!r}")
+
+    def parse_groups(chunk: str) -> list:
+        if not chunk:
+            return []
+        groups = []
+        for group in chunk.split(":"):
+            if not group or len(group) > 4:
+                raise AddressError(f"invalid IPv6 group: {group!r}")
+            try:
+                groups.append(int(group, 16))
+            except ValueError:
+                raise AddressError(f"invalid IPv6 group: {group!r}") from None
+        return groups
+
+    if "::" in text:
+        left_text, right_text = text.split("::")
+        left = parse_groups(left_text)
+        right = parse_groups(right_text) + tail_groups
+        missing = 8 - len(left) - len(right)
+        if missing < 1:
+            raise AddressError(f"IPv6 address too long: {text!r}")
+        groups = left + [0] * missing + right
+    else:
+        groups = parse_groups(text) + tail_groups
+        if len(groups) != 8:
+            raise AddressError(f"IPv6 address needs 8 groups: {text!r}")
+
+    value = 0
+    for group in groups:
+        value = (value << 16) | group
+    return value
+
+
+def _format_ipv6(value: int) -> str:
+    groups = [(value >> shift) & 0xFFFF for shift in range(112, -1, -16)]
+    # Find the longest run of zero groups (length >= 2) for '::'.
+    best_start, best_len = -1, 0
+    run_start, run_len = -1, 0
+    for index, group in enumerate(groups):
+        if group == 0:
+            if run_start < 0:
+                run_start, run_len = index, 0
+            run_len += 1
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+        else:
+            run_start, run_len = -1, 0
+    if best_len < 2:
+        return ":".join(format(group, "x") for group in groups)
+    head = ":".join(format(group, "x") for group in groups[:best_start])
+    tail = ":".join(format(group, "x") for group in groups[best_start + best_len:])
+    return f"{head}::{tail}"
+
+
+@total_ordering
+class Address:
+    """An immutable IPv4 or IPv6 address."""
+
+    __slots__ = ("_family", "_value")
+
+    def __init__(self, family: int, value: int):
+        bits = family_bits(family)
+        if not 0 <= value <= _MAX[family]:
+            raise AddressError(
+                f"address value out of range for IPv{family}: {value:#x}"
+            )
+        self._family = family
+        self._value = value
+        del bits
+
+    @classmethod
+    def parse(cls, text: str) -> "Address":
+        """Parse an address literal, auto-detecting the family."""
+        text = text.strip()
+        if ":" in text:
+            return cls(IPV6, _parse_ipv6(text))
+        return cls(IPV4, _parse_ipv4(text))
+
+    @property
+    def family(self) -> int:
+        return self._family
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def bits(self) -> int:
+        return _BITS[self._family]
+
+    def to_prefix(self) -> "Prefix":
+        """Return the host prefix (/32 or /128) for this address."""
+        return Prefix(self._family, self._value, self.bits)
+
+    def __str__(self) -> str:
+        if self._family == IPV4:
+            return _format_ipv4(self._value)
+        return _format_ipv6(self._value)
+
+    def __repr__(self) -> str:
+        return f"Address({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Address):
+            return NotImplemented
+        return self._family == other._family and self._value == other._value
+
+    def __lt__(self, other: "Address") -> bool:
+        if not isinstance(other, Address):
+            return NotImplemented
+        return (self._family, self._value) < (other._family, other._value)
+
+    def __hash__(self) -> int:
+        return hash((Address, self._family, self._value))
+
+
+@total_ordering
+class Prefix:
+    """An immutable CIDR prefix.
+
+    The network value is canonicalised on construction: host bits below
+    the prefix length must be zero, otherwise :class:`PrefixError` is
+    raised.  This catches subtle data-generation bugs early.
+    """
+
+    __slots__ = ("_family", "_value", "_length")
+
+    def __init__(self, family: int, value: int, length: int):
+        bits = family_bits(family)
+        if not 0 <= length <= bits:
+            raise PrefixError(f"prefix length {length} out of range for IPv{family}")
+        if not 0 <= value <= _MAX[family]:
+            raise PrefixError(f"network value out of range: {value:#x}")
+        host_bits = bits - length
+        if host_bits and value & ((1 << host_bits) - 1):
+            raise PrefixError(
+                f"host bits set below /{length}: {value:#x} (not a canonical network)"
+            )
+        self._family = family
+        self._value = value
+        self._length = length
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``a.b.c.d/len`` or ``x::/len`` notation."""
+        text = text.strip()
+        network_text, slash, length_text = text.partition("/")
+        if not slash:
+            raise PrefixError(f"prefix needs a '/length': {text!r}")
+        address = Address.parse(network_text)
+        if not length_text.isdigit():
+            raise PrefixError(f"invalid prefix length: {length_text!r}")
+        return cls(address.family, address.value, int(length_text))
+
+    @classmethod
+    def from_address(cls, address: Address, length: int) -> "Prefix":
+        """Build the prefix of ``length`` bits containing ``address``."""
+        bits = address.bits
+        if not 0 <= length <= bits:
+            raise PrefixError(f"prefix length {length} out of range")
+        host_bits = bits - length
+        network = (address.value >> host_bits) << host_bits
+        return cls(address.family, network, length)
+
+    @property
+    def family(self) -> int:
+        return self._family
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    @property
+    def bits(self) -> int:
+        return _BITS[self._family]
+
+    @property
+    def network(self) -> Address:
+        return Address(self._family, self._value)
+
+    @property
+    def broadcast_value(self) -> int:
+        """Numeric value of the highest address inside the prefix."""
+        host_bits = self.bits - self._length
+        return self._value | ((1 << host_bits) - 1) if host_bits else self._value
+
+    def key_bits(self) -> int:
+        """Top ``length`` bits of the network, as an integer key."""
+        return self._value >> (self.bits - self._length) if self._length else 0
+
+    def contains(self, other: Union[Address, "Prefix"]) -> bool:
+        """True when ``other`` (address or prefix) is inside this prefix."""
+        if isinstance(other, Address):
+            other = other.to_prefix()
+        if other._family != self._family or other._length < self._length:
+            return False
+        shift = self.bits - self._length
+        return (other._value >> shift) == (self._value >> shift) if self._length else True
+
+    def covers(self, other: "Prefix") -> bool:
+        """Alias of :meth:`contains` for prefixes; reads better in BGP code."""
+        return self.contains(other)
+
+    def supernet(self, length: int) -> "Prefix":
+        """Return the covering prefix of the given (shorter) length."""
+        if length > self._length:
+            raise PrefixError(
+                f"supernet length {length} longer than /{self._length}"
+            )
+        host_bits = self.bits - length
+        return Prefix(self._family, (self._value >> host_bits) << host_bits, length)
+
+    def subnets(self) -> Tuple["Prefix", "Prefix"]:
+        """Split into the two half-length+1 subnets."""
+        if self._length >= self.bits:
+            raise PrefixError(f"cannot split a host prefix /{self._length}")
+        child_length = self._length + 1
+        low = Prefix(self._family, self._value, child_length)
+        high_bit = 1 << (self.bits - child_length)
+        high = Prefix(self._family, self._value | high_bit, child_length)
+        return low, high
+
+    def addresses(self, limit: int = 1 << 16) -> Iterator[Address]:
+        """Iterate the addresses in the prefix (guarded by ``limit``)."""
+        count = 1 << (self.bits - self._length)
+        if count > limit:
+            raise PrefixError(
+                f"refusing to iterate {count} addresses (limit {limit})"
+            )
+        for offset in range(count):
+            yield Address(self._family, self._value + offset)
+
+    def nth_address(self, index: int) -> Address:
+        """Return the ``index``-th address inside the prefix."""
+        count = 1 << (self.bits - self._length)
+        if not 0 <= index < count:
+            raise PrefixError(f"address index {index} out of range for {self}")
+        return Address(self._family, self._value + index)
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self._length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return (
+            self._family == other._family
+            and self._value == other._value
+            and self._length == other._length
+        )
+
+    def __lt__(self, other: "Prefix") -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return (self._family, self._value, self._length) < (
+            other._family,
+            other._value,
+            other._length,
+        )
+
+    def __hash__(self) -> int:
+        return hash((Prefix, self._family, self._value, self._length))
+
+
+def parse_address(text: str) -> Address:
+    """Module-level convenience wrapper for :meth:`Address.parse`."""
+    return Address.parse(text)
+
+
+def parse_prefix(text: str) -> Prefix:
+    """Module-level convenience wrapper for :meth:`Prefix.parse`."""
+    return Prefix.parse(text)

@@ -1,0 +1,17 @@
+"""Exception hierarchy for the ``repro.net`` package."""
+
+
+class NetError(ValueError):
+    """Base class for addressing errors."""
+
+
+class AddressError(NetError):
+    """An IP address literal could not be parsed or is out of range."""
+
+
+class PrefixError(NetError):
+    """A prefix literal is malformed or its length is out of range."""
+
+
+class ASNError(NetError):
+    """An AS number is malformed or out of the 32-bit range."""

@@ -1,0 +1,193 @@
+"""Binary radix trie over CIDR prefixes.
+
+The trie stores one value set per exact prefix and supports the three
+lookups every substrate needs:
+
+* :meth:`PrefixTrie.lookup_exact` — value(s) stored at a prefix,
+* :meth:`PrefixTrie.lookup_longest` — longest-prefix match for an
+  address (BGP forwarding, RFC 6811 VRP matching),
+* :meth:`PrefixTrie.covering` — *all* covering prefixes of an address
+  or prefix, shortest first (paper Section 3, step 3: "we extract all
+  covering prefixes").
+
+One trie instance handles a single address family; :class:`PrefixTrie`
+multiplexes IPv4 and IPv6 internally so callers never care.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar, Union
+
+from repro.net.addr import Address, Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "values")
+
+    def __init__(self):
+        self.children: List[Optional["_Node[V]"]] = [None, None]
+        self.values: Optional[List[V]] = None
+
+
+class _FamilyTrie(Generic[V]):
+    """Radix trie for a single address family."""
+
+    __slots__ = ("_root", "_bits", "_size")
+
+    def __init__(self, bits: int):
+        self._root: _Node[V] = _Node()
+        self._bits = bits
+        self._size = 0
+
+    def _bit(self, value: int, depth: int) -> int:
+        return (value >> (self._bits - 1 - depth)) & 1
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        node = self._root
+        for depth in range(prefix.length):
+            bit = self._bit(prefix.value, depth)
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if node.values is None:
+            node.values = []
+            self._size += 1
+        node.values.append(value)
+
+    def remove(self, prefix: Prefix, value: V) -> bool:
+        node = self._root
+        path = []
+        for depth in range(prefix.length):
+            bit = self._bit(prefix.value, depth)
+            child = node.children[bit]
+            if child is None:
+                return False
+            path.append((node, bit))
+            node = child
+        if not node.values or value not in node.values:
+            return False
+        node.values.remove(value)
+        if not node.values:
+            node.values = None
+            self._size -= 1
+            # Prune now-empty leaf chain.
+            for parent, bit in reversed(path):
+                child = parent.children[bit]
+                if child.values is None and child.children == [None, None]:
+                    parent.children[bit] = None
+                else:
+                    break
+        return True
+
+    def exact(self, prefix: Prefix) -> List[V]:
+        node = self._root
+        for depth in range(prefix.length):
+            child = node.children[self._bit(prefix.value, depth)]
+            if child is None:
+                return []
+            node = child
+        return list(node.values) if node.values else []
+
+    def walk_covering(self, value: int, max_depth: int) -> Iterator[Tuple[int, List[V]]]:
+        """Yield ``(length, values)`` for every stored prefix covering
+        the top ``max_depth`` bits of ``value``, shortest first."""
+        node = self._root
+        if node.values:
+            yield 0, list(node.values)
+        for depth in range(max_depth):
+            node = node.children[self._bit(value, depth)]
+            if node is None:
+                return
+            if node.values:
+                yield depth + 1, list(node.values)
+
+    def iter_items(self, family: int) -> Iterator[Tuple[Prefix, V]]:
+        stack: List[Tuple[_Node[V], int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, value, depth = stack.pop()
+            if node.values is not None:
+                prefix = Prefix(family, value << (self._bits - depth), depth)
+                for item in node.values:
+                    yield prefix, item
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append((child, (value << 1) | bit, depth + 1))
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class PrefixTrie(Generic[V]):
+    """Dual-stack radix trie mapping prefixes to lists of values."""
+
+    def __init__(self):
+        self._tries = {4: _FamilyTrie[V](32), 6: _FamilyTrie[V](128)}
+        self._count = 0
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Associate ``value`` with ``prefix`` (duplicates allowed)."""
+        self._tries[prefix.family].insert(prefix, value)
+        self._count += 1
+
+    def remove(self, prefix: Prefix, value: V) -> bool:
+        """Remove one ``(prefix, value)`` association; True on success."""
+        removed = self._tries[prefix.family].remove(prefix, value)
+        if removed:
+            self._count -= 1
+        return removed
+
+    def lookup_exact(self, prefix: Prefix) -> List[V]:
+        """Values stored at exactly ``prefix`` (empty list if none)."""
+        return self._tries[prefix.family].exact(prefix)
+
+    def covering(self, target: Union[Address, Prefix]) -> List[Tuple[Prefix, V]]:
+        """All stored prefixes covering ``target``, shortest first."""
+        if isinstance(target, Address):
+            target = target.to_prefix()
+        trie = self._tries[target.family]
+        results: List[Tuple[Prefix, V]] = []
+        for length, values in trie.walk_covering(target.value, target.length):
+            prefix = target.supernet(length)
+            for value in values:
+                results.append((prefix, value))
+        return results
+
+    def lookup_longest(
+        self, target: Union[Address, Prefix]
+    ) -> Optional[Tuple[Prefix, List[V]]]:
+        """Longest-prefix match; None when nothing covers ``target``."""
+        matches = self.covering(target)
+        if not matches:
+            return None
+        longest = matches[-1][0]
+        values = [value for prefix, value in matches if prefix == longest]
+        return longest, values
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """Iterate every stored ``(prefix, value)`` pair."""
+        for family, trie in self._tries.items():
+            yield from trie.iter_items(family)
+
+    def prefixes(self) -> Iterator[Prefix]:
+        """Iterate distinct stored prefixes."""
+        seen = set()
+        for prefix, _value in self.items():
+            if prefix not in seen:
+                seen.add(prefix)
+                yield prefix
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return bool(self.lookup_exact(prefix))
+
+    def __len__(self) -> int:
+        """Number of stored associations (not distinct prefixes)."""
+        return self._count
+
+    def __repr__(self) -> str:
+        distinct = len(self._tries[4]) + len(self._tries[6])
+        return f"<PrefixTrie {self._count} entries over {distinct} prefixes>"

@@ -1,0 +1,20 @@
+"""Internet Routing Registry substrate (RPSL-style records).
+
+Section 4.2 derives CDN AS numbers by "keyword spotting on common AS
+assignment lists".  Those lists are WHOIS/IRR databases of ``aut-num``
+objects.  This package provides the object model, an RPSL-style text
+format with a parser, a queryable database, and the generator that
+fills it from a built ecosystem — so the keyword-spotting step runs
+over the same kind of artifact the paper used.
+"""
+
+from repro.registry.database import RegistryDatabase
+from repro.registry.generate import registry_for_world
+from repro.registry.objects import AutNum, RPSLError
+
+__all__ = [
+    "AutNum",
+    "RPSLError",
+    "RegistryDatabase",
+    "registry_for_world",
+]

@@ -1,0 +1,85 @@
+"""A queryable registry database with a flat-file form."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.net import ASN
+from repro.registry.objects import AutNum, RPSLError
+
+
+class RegistryDatabase:
+    """All aut-num objects of the (synthetic) Internet."""
+
+    def __init__(self, objects: Iterable[AutNum] = ()):
+        self._by_asn: Dict[ASN, AutNum] = {}
+        for obj in objects:
+            self.add(obj)
+
+    def add(self, obj: AutNum) -> None:
+        if obj.asn in self._by_asn:
+            raise RPSLError(f"duplicate aut-num for {obj.asn}")
+        self._by_asn[obj.asn] = obj
+
+    def lookup(self, asn: Union[int, ASN]) -> Optional[AutNum]:
+        return self._by_asn.get(ASN(asn))
+
+    def search_keyword(self, keyword: str) -> List[AutNum]:
+        """Case-insensitive substring search (the spotting primitive)."""
+        needle = keyword.upper()
+        return sorted(
+            (obj for obj in self._by_asn.values()
+             if needle in obj.searchable_text()),
+            key=lambda obj: int(obj.asn),
+        )
+
+    def by_source(self, source: str) -> List[AutNum]:
+        return sorted(
+            (obj for obj in self._by_asn.values() if obj.source == source),
+            key=lambda obj: int(obj.asn),
+        )
+
+    def __iter__(self) -> Iterator[AutNum]:
+        return iter(sorted(self._by_asn.values(), key=lambda o: int(o.asn)))
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __contains__(self, asn: Union[int, ASN]) -> bool:
+        return ASN(asn) in self._by_asn
+
+    # -- flat-file form ------------------------------------------------------
+
+    def to_file(self, path: Union[str, Path]) -> int:
+        """Write a WHOIS-style flat file (objects separated by blank
+        lines); returns the object count."""
+        path = Path(path)
+        with path.open("w") as handle:
+            handle.write("% Synthetic AS assignment list\n\n")
+            for obj in self:
+                handle.write(obj.to_rpsl())
+                handle.write("\n")
+        return len(self)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "RegistryDatabase":
+        path = Path(path)
+        database = cls()
+        block: List[str] = []
+        with path.open() as handle:
+            for line in handle:
+                if line.strip() == "":
+                    if block:
+                        database.add(AutNum.from_rpsl("".join(block)))
+                        block = []
+                    continue
+                if line.startswith("%"):
+                    continue
+                block.append(line)
+        if block:
+            database.add(AutNum.from_rpsl("".join(block)))
+        return database
+
+    def __repr__(self) -> str:
+        return f"<RegistryDatabase {len(self._by_asn)} aut-num objects>"

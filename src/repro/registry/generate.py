@@ -1,0 +1,59 @@
+"""Registry generation from a built ecosystem."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.registry.database import RegistryDatabase
+from repro.registry.objects import AutNum
+from repro.web.organisations import OrgKind
+
+_ORG_SUFFIX = {
+    OrgKind.TIER1: "Global Backbone",
+    OrgKind.TRANSIT: "Transit Networks",
+    OrgKind.EYEBALL: "Broadband",
+    OrgKind.HOSTER: "Hosting",
+    OrgKind.CDN: "Content Delivery",
+}
+
+
+def registry_for_world(world) -> RegistryDatabase:
+    """Generate one aut-num per AS, in the allocating RIR's source.
+
+    The ``as-name``/``descr`` strings carry the organisation name, so
+    CDN keyword spotting works exactly as on real assignment lists.
+    """
+    database = RegistryDatabase()
+    for org in world.organisations:
+        descr = f"{org.name} {_ORG_SUFFIX.get(org.kind, '')}".strip()
+        for asn in org.asns:
+            database.add(
+                AutNum(
+                    asn=asn,
+                    as_name=org.registry_names[asn],
+                    descr=descr,
+                    org=f"ORG-{org.name.upper()[:8]}-{org.rir}",
+                    source=org.rir,
+                )
+            )
+    return database
+
+
+def spot_cdn_ases_in_registry(
+    database: RegistryDatabase, operators=None
+) -> Dict[str, List]:
+    """Section 4.2 keyword spotting straight over the registry."""
+    from repro.web.cdn import CDN_CATALOGUE
+
+    operators = list(operators) if operators is not None else list(CDN_CATALOGUE)
+    spotted: Dict[str, List] = {}
+    claimed = set()
+    for operator in operators:
+        matches = [
+            obj.asn
+            for obj in database.search_keyword(operator.keyword())
+            if obj.asn not in claimed
+        ]
+        claimed.update(matches)
+        spotted[operator.name] = matches
+    return spotted

@@ -1,0 +1,94 @@
+"""RPSL-style registry objects.
+
+Only the ``aut-num`` class is modelled — it is what AS assignment
+lists are made of.  The text form follows RPSL conventions::
+
+    aut-num:    AS20940
+    as-name:    AKAMAI-ASN1
+    descr:      Akamai International B.V.
+    org:        ORG-AT1-RIPE
+    source:     RIPE
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.net import ASN, parse_asn
+
+
+class RPSLError(ValueError):
+    """A registry object or its text form is malformed."""
+
+
+_REQUIRED = ("aut-num", "as-name", "source")
+
+
+@dataclass(frozen=True)
+class AutNum:
+    """One aut-num object."""
+
+    asn: ASN
+    as_name: str
+    descr: str = ""
+    org: str = ""
+    source: str = "RIPE"
+
+    def __post_init__(self):
+        if not self.as_name:
+            raise RPSLError("as-name must not be empty")
+        if any(ch.isspace() for ch in self.as_name):
+            raise RPSLError(f"as-name must be a single token: {self.as_name!r}")
+
+    def searchable_text(self) -> str:
+        """The string keyword spotting scans."""
+        return f"{self.as_name} {self.descr} {self.org}".upper()
+
+    def to_rpsl(self) -> str:
+        lines = [
+            f"aut-num:    AS{int(self.asn)}",
+            f"as-name:    {self.as_name}",
+        ]
+        if self.descr:
+            lines.append(f"descr:      {self.descr}")
+        if self.org:
+            lines.append(f"org:        {self.org}")
+        lines.append(f"source:     {self.source}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_rpsl(cls, text: str) -> "AutNum":
+        fields: Dict[str, str] = {}
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith(("%", "#")):
+                continue
+            key, colon, value = line.partition(":")
+            if not colon:
+                raise RPSLError(f"malformed RPSL line: {raw_line!r}")
+            key = key.strip().lower()
+            # First occurrence wins (RPSL allows repeated descr lines;
+            # we join them below instead).
+            value = value.strip()
+            if key == "descr" and "descr" in fields:
+                fields["descr"] += " " + value
+            else:
+                fields.setdefault(key, value)
+        for required in _REQUIRED:
+            if required not in fields:
+                raise RPSLError(f"missing {required!r} attribute")
+        try:
+            asn = parse_asn(fields["aut-num"])
+        except ValueError as exc:
+            raise RPSLError(f"bad aut-num: {fields['aut-num']!r}") from exc
+        return cls(
+            asn=asn,
+            as_name=fields["as-name"],
+            descr=fields.get("descr", ""),
+            org=fields.get("org", ""),
+            source=fields["source"],
+        )
+
+    def __str__(self) -> str:
+        return f"AS{int(self.asn)} ({self.as_name})"

@@ -1,0 +1,82 @@
+"""Certificate Revocation Lists.
+
+Each CA publishes one CRL at its publication point listing the serial
+numbers of certificates it has revoked.  The relying party refuses any
+certificate whose serial appears on its issuer's (valid) CRL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.crypto.digest import canonical_bytes, sha256_hex
+from repro.crypto.rsa import sign, verify
+from repro.rpki.cert import CertificateAuthority
+
+
+@dataclass(frozen=True)
+class CertificateRevocationList:
+    """A signed list of revoked serial numbers."""
+
+    issuer_fingerprint: str
+    revoked_serials: FrozenSet[int]
+    this_update: float
+    next_update: float
+    signature: int
+
+    def tbs_bytes(self) -> bytes:
+        return canonical_bytes(
+            {
+                "issuer": self.issuer_fingerprint,
+                "revoked": sorted(self.revoked_serials),
+                "this_update": self.this_update,
+                "next_update": self.next_update,
+            }
+        )
+
+    def object_hash(self) -> str:
+        blob = self.tbs_bytes() + self.signature.to_bytes(
+            (self.signature.bit_length() + 7) // 8 or 1, "big"
+        )
+        return sha256_hex(blob)
+
+    def verify_signature(self, issuer_key) -> bool:
+        return verify(self.tbs_bytes(), self.signature, issuer_key)
+
+    def is_current(self, now: float) -> bool:
+        return self.this_update <= now <= self.next_update
+
+    def is_revoked(self, serial: int) -> bool:
+        return serial in self.revoked_serials
+
+    def __repr__(self) -> str:
+        return (
+            f"<CRL {self.issuer_fingerprint[:12]} "
+            f"{len(self.revoked_serials)} revoked>"
+        )
+
+
+def issue_crl(
+    ca: CertificateAuthority,
+    this_update: float = 0.0,
+    next_update: Optional[float] = None,
+) -> CertificateRevocationList:
+    """Sign a CRL covering the CA's current revocation set."""
+    if next_update is None:
+        next_update = ca.certificate.not_after
+    unsigned = CertificateRevocationList(
+        issuer_fingerprint=ca.keypair.public.fingerprint(),
+        revoked_serials=frozenset(ca.revoked_serials),
+        this_update=this_update,
+        next_update=next_update,
+        signature=0,
+    )
+    signature = sign(unsigned.tbs_bytes(), ca.keypair)
+    return CertificateRevocationList(
+        issuer_fingerprint=unsigned.issuer_fingerprint,
+        revoked_serials=unsigned.revoked_serials,
+        this_update=this_update,
+        next_update=next_update,
+        signature=signature,
+    )

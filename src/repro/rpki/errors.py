@@ -1,0 +1,13 @@
+"""Exception hierarchy for the RPKI substrate."""
+
+
+class RPKIError(Exception):
+    """Base class for RPKI failures."""
+
+
+class ValidationError(RPKIError):
+    """An object failed relying-party validation."""
+
+
+class IssuanceError(RPKIError):
+    """A CA refused to issue an object (e.g. resources not held)."""

@@ -1,0 +1,56 @@
+"""RPKI-to-Router (RTR) protocol, RFC 8210.
+
+How validated ROA payloads actually reach BGP routers: a relying
+party exposes its VRP set through an RTR cache server; routers run an
+RTR client that synchronises a local copy (full sync via Reset Query,
+incremental via Serial Query) and feed it to origin validation.
+
+The paper cites RTRlib [31] — the authors' own open-source RTR
+client — as part of the measurement/deployment toolchain; this
+package provides a wire-faithful Python implementation: binary PDU
+encoding, a serial-diff cache server, and a router-side client.
+"""
+
+from repro.rpki.rtr.cache import RTRCache
+from repro.rpki.rtr.client import RTRClient
+from repro.rpki.rtr.errors import RTRError, RTRProtocolError
+from repro.rpki.rtr.pdus import (
+    CacheResetPDU,
+    CacheResponsePDU,
+    EndOfDataPDU,
+    ErrorCode,
+    ErrorReportPDU,
+    IPv4PrefixPDU,
+    IPv6PrefixPDU,
+    PDU,
+    PduType,
+    ResetQueryPDU,
+    SerialNotifyPDU,
+    SerialQueryPDU,
+    decode_pdu,
+    decode_stream,
+)
+from repro.rpki.rtr.transport import InMemoryTransport, TransportPair
+
+__all__ = [
+    "CacheResetPDU",
+    "CacheResponsePDU",
+    "EndOfDataPDU",
+    "ErrorCode",
+    "ErrorReportPDU",
+    "IPv4PrefixPDU",
+    "IPv6PrefixPDU",
+    "InMemoryTransport",
+    "PDU",
+    "PduType",
+    "RTRCache",
+    "RTRClient",
+    "RTRError",
+    "RTRProtocolError",
+    "ResetQueryPDU",
+    "SerialNotifyPDU",
+    "SerialQueryPDU",
+    "TransportPair",
+    "decode_pdu",
+    "decode_stream",
+]

@@ -1,0 +1,155 @@
+"""RTR cache server (the relying-party side).
+
+Holds the current VRP snapshot plus a bounded history of serial diffs
+so routers can synchronise incrementally.  Updating the cache with a
+new snapshot computes announce/withdraw diffs automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.rpki.rtr.errors import RTRProtocolError
+from repro.rpki.rtr.pdus import (
+    FLAG_ANNOUNCE,
+    FLAG_WITHDRAW,
+    CacheResetPDU,
+    CacheResponsePDU,
+    EndOfDataPDU,
+    ErrorCode,
+    ErrorReportPDU,
+    PDU,
+    ResetQueryPDU,
+    SerialNotifyPDU,
+    SerialQueryPDU,
+    decode_stream,
+    prefix_pdu,
+)
+from repro.rpki.rtr.transport import InMemoryTransport
+from repro.rpki.vrp import VRP, ValidatedPayloads
+
+
+def _vrp_key(vrp: VRP) -> Tuple:
+    return (vrp.prefix, vrp.max_length, int(vrp.asn))
+
+
+class RTRCache:
+    """A cache server speaking RTR over a transport."""
+
+    def __init__(
+        self,
+        session_id: int = 1,
+        history_limit: int = 16,
+        refresh_interval: int = 3600,
+    ):
+        self.session_id = session_id
+        self.serial = 0
+        self._current: Dict[Tuple, VRP] = {}
+        # serial -> (announced, withdrawn) leading *to* that serial.
+        self._diffs: Dict[int, Tuple[List[VRP], List[VRP]]] = {}
+        self._history_limit = history_limit
+        self._refresh_interval = refresh_interval
+        self._buffers: Dict[int, bytes] = {}
+
+    # -- data management ---------------------------------------------------
+
+    def load(self, payloads: Iterable[VRP]) -> Tuple[int, int]:
+        """Install a new VRP snapshot; returns (announced, withdrawn)."""
+        new: Dict[Tuple, VRP] = {_vrp_key(v): v for v in payloads}
+        announced = [v for key, v in new.items() if key not in self._current]
+        withdrawn = [
+            v for key, v in self._current.items() if key not in new
+        ]
+        self._current = new
+        if self.serial == 0 and not announced and not withdrawn:
+            # First load of an empty set still advances the serial so
+            # routers can End-of-Data against something.
+            pass
+        self.serial += 1
+        self._diffs[self.serial] = (announced, withdrawn)
+        while len(self._diffs) > self._history_limit:
+            del self._diffs[min(self._diffs)]
+        return len(announced), len(withdrawn)
+
+    def vrps(self) -> List[VRP]:
+        return list(self._current.values())
+
+    def can_diff_from(self, serial: int) -> bool:
+        """True when every diff after ``serial`` is still in history."""
+        if serial == self.serial:
+            return True
+        needed = range(serial + 1, self.serial + 1)
+        return bool(needed) and all(s in self._diffs for s in needed)
+
+    # -- protocol ------------------------------------------------------------
+
+    def notify(self, transport: InMemoryTransport) -> None:
+        """Push a Serial Notify (new data available) to a router."""
+        transport.send(SerialNotifyPDU(self.session_id, self.serial).encode())
+
+    def serve(self, transport: InMemoryTransport) -> None:
+        """Process every pending router query on ``transport``."""
+        key = id(transport)
+        buffer = self._buffers.get(key, b"") + transport.receive()
+        try:
+            pdus, remainder = decode_stream(buffer)
+        except RTRProtocolError as error:
+            transport.send(
+                ErrorReportPDU(
+                    ErrorCode(error.error_code), b"", str(error)
+                ).encode()
+            )
+            self._buffers[key] = b""
+            return
+        self._buffers[key] = remainder
+        for pdu in pdus:
+            self._handle(pdu, transport)
+
+    def _handle(self, pdu: PDU, transport: InMemoryTransport) -> None:
+        if isinstance(pdu, ResetQueryPDU):
+            self._send_snapshot(transport)
+        elif isinstance(pdu, SerialQueryPDU):
+            if pdu.session_id != self.session_id:
+                transport.send(CacheResetPDU().encode())
+            elif not self.can_diff_from(pdu.serial):
+                transport.send(CacheResetPDU().encode())
+            else:
+                self._send_diff(transport, pdu.serial)
+        elif isinstance(pdu, ErrorReportPDU):
+            pass  # router gave up; nothing to do for an in-memory peer
+        else:
+            transport.send(
+                ErrorReportPDU(
+                    ErrorCode.INVALID_REQUEST,
+                    pdu.encode(),
+                    f"unexpected {type(pdu).__name__} at cache",
+                ).encode()
+            )
+
+    def _send_snapshot(self, transport: InMemoryTransport) -> None:
+        out = bytearray(CacheResponsePDU(self.session_id).encode())
+        for vrp in self._current.values():
+            out += prefix_pdu(FLAG_ANNOUNCE, vrp).encode()
+        out += EndOfDataPDU(
+            self.session_id, self.serial, self._refresh_interval
+        ).encode()
+        transport.send(bytes(out))
+
+    def _send_diff(self, transport: InMemoryTransport, since: int) -> None:
+        out = bytearray(CacheResponsePDU(self.session_id).encode())
+        for serial in range(since + 1, self.serial + 1):
+            announced, withdrawn = self._diffs[serial]
+            for vrp in announced:
+                out += prefix_pdu(FLAG_ANNOUNCE, vrp).encode()
+            for vrp in withdrawn:
+                out += prefix_pdu(FLAG_WITHDRAW, vrp).encode()
+        out += EndOfDataPDU(
+            self.session_id, self.serial, self._refresh_interval
+        ).encode()
+        transport.send(bytes(out))
+
+    def __repr__(self) -> str:
+        return (
+            f"<RTRCache session={self.session_id} serial={self.serial} "
+            f"{len(self._current)} VRPs>"
+        )

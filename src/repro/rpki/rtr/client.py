@@ -1,0 +1,175 @@
+"""RTR client (the router side).
+
+Maintains a local VRP table synchronised from a cache: Reset Query on
+first contact or after a Cache Reset, Serial Query after a Serial
+Notify.  The table is exposed as a
+:class:`~repro.rpki.vrp.ValidatedPayloads` so a BGP speaker can run
+RFC 6811 origin validation directly against it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.rpki.rtr.errors import RTRProtocolError
+from repro.rpki.rtr.pdus import (
+    FLAG_ANNOUNCE,
+    CacheResetPDU,
+    CacheResponsePDU,
+    EndOfDataPDU,
+    ErrorCode,
+    ErrorReportPDU,
+    IPv4PrefixPDU,
+    IPv6PrefixPDU,
+    PDU,
+    ResetQueryPDU,
+    SerialNotifyPDU,
+    SerialQueryPDU,
+    decode_stream,
+)
+from repro.rpki.rtr.transport import InMemoryTransport
+from repro.rpki.vrp import VRP, ValidatedPayloads
+
+
+class ClientState(enum.Enum):
+    DISCONNECTED = "disconnected"
+    SYNCING = "syncing"
+    SYNCHRONISED = "synchronised"
+    ERROR = "error"
+
+
+class RTRClient:
+    """A router-side RTR endpoint over one transport."""
+
+    def __init__(self, transport: InMemoryTransport, trust_anchor: str = "rtr"):
+        self._transport = transport
+        self._trust_anchor = trust_anchor
+        self._buffer = b""
+        self._table: Dict[Tuple, VRP] = {}
+        self._pending: Optional[Dict[Tuple, VRP]] = None
+        self.state = ClientState.DISCONNECTED
+        self.session_id: Optional[int] = None
+        self.serial: Optional[int] = None
+        self.refresh_interval: Optional[int] = None
+        self.last_error: Optional[ErrorReportPDU] = None
+
+    # -- queries ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Initial synchronisation: full snapshot via Reset Query."""
+        self._transport.send(ResetQueryPDU().encode())
+        self.state = ClientState.SYNCING
+
+    def refresh(self) -> None:
+        """Incremental synchronisation from the last known serial."""
+        if self.session_id is None or self.serial is None:
+            self.start()
+            return
+        self._transport.send(
+            SerialQueryPDU(self.session_id, self.serial).encode()
+        )
+        self.state = ClientState.SYNCING
+
+    # -- event pump --------------------------------------------------------
+
+    def poll(self) -> None:
+        """Consume every PDU the cache has queued for us."""
+        self._buffer += self._transport.receive()
+        try:
+            pdus, self._buffer = decode_stream(self._buffer)
+        except RTRProtocolError as error:
+            self._fail(ErrorCode(error.error_code), str(error))
+            return
+        for pdu in pdus:
+            self._handle(pdu)
+            if self.state is ClientState.ERROR:
+                break  # RFC 8210: an error is fatal to the session
+
+    def _handle(self, pdu: PDU) -> None:
+        if isinstance(pdu, SerialNotifyPDU):
+            # Out-of-band poke: fetch the diff unless already syncing.
+            if self.state is not ClientState.SYNCING:
+                self.session_id = (
+                    pdu.session_id if self.session_id is None else self.session_id
+                )
+                self.refresh()
+        elif isinstance(pdu, CacheResponsePDU):
+            if self.session_id is not None and pdu.session_id != self.session_id:
+                self._fail(
+                    ErrorCode.CORRUPT_DATA,
+                    f"session id changed {self.session_id} -> {pdu.session_id}",
+                )
+                return
+            self.session_id = pdu.session_id
+            # Diffs apply on top of the current table; a response after
+            # a Reset Query starts from scratch (table empty on first
+            # sync, and we cleared it when we saw Cache Reset).
+            self._pending = dict(self._table)
+        elif isinstance(pdu, (IPv4PrefixPDU, IPv6PrefixPDU)):
+            if self._pending is None:
+                self._fail(
+                    ErrorCode.CORRUPT_DATA, "prefix PDU outside a response"
+                )
+                return
+            vrp = pdu.to_vrp(self._trust_anchor)
+            key = (vrp.prefix, vrp.max_length, int(vrp.asn))
+            if pdu.flags & FLAG_ANNOUNCE:
+                self._pending[key] = vrp
+            elif key in self._pending:
+                del self._pending[key]
+            else:
+                self._fail(
+                    ErrorCode.WITHDRAWAL_OF_UNKNOWN_RECORD, f"withdraw {vrp}"
+                )
+                return
+        elif isinstance(pdu, EndOfDataPDU):
+            if self._pending is None:
+                self._fail(ErrorCode.CORRUPT_DATA, "End of Data outside response")
+                return
+            self._table = self._pending
+            self._pending = None
+            self.serial = pdu.serial
+            self.refresh_interval = pdu.refresh_interval
+            self.state = ClientState.SYNCHRONISED
+        elif isinstance(pdu, CacheResetPDU):
+            # The cache cannot diff for us: drop state, full resync.
+            # The session id is forgotten too — the reset may follow a
+            # cache restart under a fresh session.
+            self._table = {}
+            self._pending = None
+            self.serial = None
+            self.session_id = None
+            self.start()
+        elif isinstance(pdu, ErrorReportPDU):
+            self.last_error = pdu
+            self.state = ClientState.ERROR
+        else:
+            self._fail(
+                ErrorCode.UNSUPPORTED_PDU_TYPE,
+                f"unexpected {type(pdu).__name__} at router",
+            )
+
+    def _fail(self, code: ErrorCode, message: str) -> None:
+        self.state = ClientState.ERROR
+        self._pending = None
+        self.last_error = ErrorReportPDU(code, b"", message)
+        self._transport.send(self.last_error.encode())
+
+    # -- table access -----------------------------------------------------------
+
+    def vrps(self) -> List[VRP]:
+        return list(self._table.values())
+
+    def payloads(self) -> ValidatedPayloads:
+        """A fresh ValidatedPayloads over the current table."""
+        return ValidatedPayloads(self._table.values())
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RTRClient {self.state.value} serial={self.serial} "
+            f"{len(self._table)} VRPs>"
+        )

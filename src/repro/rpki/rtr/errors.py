@@ -1,0 +1,13 @@
+"""Exception hierarchy for the RTR protocol."""
+
+
+class RTRError(Exception):
+    """Base class for RTR failures."""
+
+
+class RTRProtocolError(RTRError):
+    """A PDU was malformed or violated the session state machine."""
+
+    def __init__(self, message: str, error_code: int = 0):
+        super().__init__(message)
+        self.error_code = error_code

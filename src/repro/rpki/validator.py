@@ -1,0 +1,238 @@
+"""The relying-party validator.
+
+Starting from a set of trust anchor locators, the validator walks the
+CA hierarchy through the repository and checks, for every object:
+
+1. the signature verifies under the issuer's key,
+2. the validity window contains the validation time,
+3. the resource extension is covered by the issuer (no over-claims),
+4. the serial is not on the issuer's current CRL,
+5. the object is listed on the issuer's manifest with a matching hash
+   (in strict mode unlisted objects are rejected; otherwise warned).
+
+Only ROAs that survive every check contribute VRPs — mirroring the
+paper's step 4: "Only cryptographically correct ROAs are further used".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.rpki.cert import ResourceCertificate
+from repro.rpki.repository import Repository, certificate_hash
+from repro.rpki.roa import ROA
+from repro.rpki.tal import TrustAnchorLocator
+from repro.rpki.vrp import VRP, ValidatedPayloads
+
+
+@dataclass
+class ValidationReport:
+    """Statistics and per-object outcomes of a validation run."""
+
+    accepted_certificates: int = 0
+    accepted_roas: int = 0
+    rejected: List[Tuple[str, str]] = field(default_factory=list)  # (object, reason)
+    warnings: List[str] = field(default_factory=list)
+
+    def reject(self, obj: str, reason: str) -> None:
+        self.rejected.append((obj, reason))
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+    @property
+    def rejected_count(self) -> int:
+        return len(self.rejected)
+
+    def summary(self) -> str:
+        return (
+            f"{self.accepted_certificates} certificates and "
+            f"{self.accepted_roas} ROAs accepted; "
+            f"{self.rejected_count} objects rejected; "
+            f"{len(self.warnings)} warnings"
+        )
+
+
+class RelyingParty:
+    """Validates a repository against trust anchors to produce VRPs."""
+
+    def __init__(self, repository: Repository, strict_manifests: bool = False):
+        self._repository = repository
+        self._strict_manifests = strict_manifests
+
+    def validate(
+        self,
+        tals: Sequence[TrustAnchorLocator],
+        now: float = 0.0,
+    ) -> Tuple[ValidatedPayloads, ValidationReport]:
+        """Run validation under every TAL; returns VRPs and a report."""
+        payloads = ValidatedPayloads()
+        report = ValidationReport()
+        for tal in tals:
+            ta_cert = self._repository.trust_anchor_certificates.get(
+                tal.fingerprint()
+            )
+            if ta_cert is None:
+                report.reject(f"TA:{tal.name}", "trust anchor certificate missing")
+                continue
+            if not tal.matches(ta_cert):
+                report.reject(f"TA:{tal.name}", "public key does not match TAL")
+                continue
+            if not ta_cert.is_self_signed() or not ta_cert.verify_signature(
+                ta_cert.public_key
+            ):
+                report.reject(f"TA:{tal.name}", "invalid self-signature")
+                continue
+            if not ta_cert.valid_at(now):
+                report.reject(f"TA:{tal.name}", "trust anchor expired")
+                continue
+            report.accepted_certificates += 1
+            self._walk(ta_cert, tal.name, now, payloads, report, depth=0)
+        return payloads, report
+
+    # -- internals -------------------------------------------------------
+
+    _MAX_DEPTH = 32  # defend against pathological or cyclic hierarchies
+
+    def _walk(
+        self,
+        ca_cert: ResourceCertificate,
+        trust_anchor: str,
+        now: float,
+        payloads: ValidatedPayloads,
+        report: ValidationReport,
+        depth: int,
+    ) -> None:
+        if depth > self._MAX_DEPTH:
+            report.reject(ca_cert.subject, "hierarchy too deep (possible cycle)")
+            return
+        point = self._repository.lookup(ca_cert.fingerprint())
+        if point is None:
+            return  # a CA without products is fine
+
+        crl = point.crl
+        crl_usable = (
+            crl is not None
+            and crl.verify_signature(ca_cert.public_key)
+            and crl.is_current(now)
+        )
+        if crl is not None and not crl_usable:
+            report.warn(f"{ca_cert.subject}: CRL invalid or stale, ignoring")
+
+        manifest = point.manifest
+        manifest_usable = (
+            manifest is not None
+            and manifest.verify_signature(ca_cert.public_key)
+            and manifest.is_current(now)
+        )
+        if manifest is not None and not manifest_usable:
+            report.warn(f"{ca_cert.subject}: manifest invalid or stale")
+
+        for name, child_cert in sorted(point.child_certificates.items()):
+            if not self._check_listed(
+                name, certificate_hash(child_cert), manifest, manifest_usable, report
+            ):
+                report.reject(name, "not listed on manifest (strict mode)")
+                continue
+            if not self._check_certificate(
+                child_cert, ca_cert, crl if crl_usable else None, now, report, name
+            ):
+                continue
+            report.accepted_certificates += 1
+            self._walk(child_cert, trust_anchor, now, payloads, report, depth + 1)
+
+        for name, roa in sorted(point.roas.items()):
+            if not self._check_listed(
+                name, roa.object_hash(), manifest, manifest_usable, report
+            ):
+                report.reject(name, "not listed on manifest (strict mode)")
+                continue
+            if not self._check_roa(
+                roa, ca_cert, crl if crl_usable else None, now, report, name
+            ):
+                continue
+            report.accepted_roas += 1
+            for entry in roa.prefixes:
+                payloads.add(
+                    VRP(
+                        prefix=entry.prefix,
+                        max_length=entry.max_length,
+                        asn=roa.as_id,
+                        trust_anchor=trust_anchor,
+                    )
+                )
+
+    def _check_listed(
+        self,
+        name: str,
+        object_hash: str,
+        manifest,
+        manifest_usable: bool,
+        report: ValidationReport,
+    ) -> bool:
+        """Manifest consistency; returns False only when fatal."""
+        if not manifest_usable:
+            if self._strict_manifests:
+                return False
+            return True
+        listed = manifest.listed_hash(name)
+        if listed is None:
+            if self._strict_manifests:
+                return False
+            report.warn(f"{name}: not listed on manifest")
+            return True
+        if listed != object_hash:
+            # A hash mismatch means substitution; always fatal.
+            report.reject(name, "manifest hash mismatch")
+            return False
+        return True
+
+    def _check_certificate(
+        self,
+        cert: ResourceCertificate,
+        issuer: ResourceCertificate,
+        crl,
+        now: float,
+        report: ValidationReport,
+        name: str,
+    ) -> bool:
+        if cert.issuer_fingerprint != issuer.fingerprint():
+            report.reject(name, "issuer fingerprint mismatch")
+            return False
+        if not cert.verify_signature(issuer.public_key):
+            report.reject(name, "bad signature")
+            return False
+        if not cert.valid_at(now):
+            report.reject(name, "outside validity window")
+            return False
+        if not issuer.resources.covers(cert.resources):
+            report.reject(name, "resource over-claim")
+            return False
+        if crl is not None and crl.is_revoked(cert.serial):
+            report.reject(name, "revoked")
+            return False
+        return True
+
+    def _check_roa(
+        self,
+        roa: ROA,
+        issuer: ResourceCertificate,
+        crl,
+        now: float,
+        report: ValidationReport,
+        name: str,
+    ) -> bool:
+        ee = roa.ee_certificate
+        if ee.is_ca:
+            report.reject(name, "ROA EE certificate has the CA bit set")
+            return False
+        if not self._check_certificate(ee, issuer, crl, now, report, name):
+            return False
+        if not roa.verify_payload_signature():
+            report.reject(name, "ROA payload signature invalid")
+            return False
+        if not ee.resources.covers(roa.prefix_resources()):
+            report.reject(name, "ROA prefixes exceed EE certificate resources")
+            return False
+        return True

@@ -1,0 +1,112 @@
+"""Validated ROA Payloads and RFC 6811 prefix origin validation.
+
+The relying party distils the validated ROA set into VRPs — triples
+of (prefix, maxLength, origin AS).  :class:`ValidatedPayloads` indexes
+them in a radix trie and implements the origin-validation algorithm a
+BGP router runs on each received route:
+
+* **NOT_FOUND** — no VRP covers the announced prefix,
+* **VALID** — some covering VRP matches the origin AS and the
+  announced prefix is no longer than its maxLength,
+* **INVALID** — covering VRPs exist but none matches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.net import ASN, Prefix, PrefixTrie
+
+
+class OriginValidation(enum.Enum):
+    """RFC 6811 route validation states."""
+
+    VALID = "valid"
+    INVALID = "invalid"
+    NOT_FOUND = "not_found"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class VRP:
+    """One Validated ROA Payload."""
+
+    prefix: Prefix
+    max_length: int
+    asn: ASN
+    trust_anchor: str = ""
+
+    def __post_init__(self):
+        if not self.prefix.length <= self.max_length <= self.prefix.bits:
+            raise ValueError(
+                f"maxLength {self.max_length} invalid for {self.prefix}"
+            )
+
+    def covers(self, announced: Prefix) -> bool:
+        """True when this VRP's prefix covers the announcement."""
+        return self.prefix.covers(announced)
+
+    def matches(self, announced: Prefix, origin: Union[int, ASN]) -> bool:
+        """Full RFC 6811 match: coverage, maxLength, and origin AS."""
+        return (
+            self.covers(announced)
+            and announced.length <= self.max_length
+            and int(self.asn) == int(origin)
+        )
+
+    def __str__(self) -> str:
+        return f"{self.prefix}-{self.max_length} => {self.asn}"
+
+
+class ValidatedPayloads:
+    """An indexed set of VRPs supporting origin validation."""
+
+    def __init__(self, vrps: Iterable[VRP] = ()):
+        self._trie: PrefixTrie = PrefixTrie()
+        self._vrps: List[VRP] = []
+        for vrp in vrps:
+            self.add(vrp)
+
+    def add(self, vrp: VRP) -> None:
+        self._trie.insert(vrp.prefix, vrp)
+        self._vrps.append(vrp)
+
+    def covering_vrps(self, announced: Prefix) -> List[VRP]:
+        """Every VRP whose prefix covers the announced prefix."""
+        return [vrp for _prefix, vrp in self._trie.covering(announced)]
+
+    def validate_origin(
+        self, announced: Prefix, origin: Union[int, ASN]
+    ) -> OriginValidation:
+        """RFC 6811 origin validation of one announcement."""
+        covering = self.covering_vrps(announced)
+        if not covering:
+            return OriginValidation.NOT_FOUND
+        for vrp in covering:
+            if vrp.matches(announced, origin):
+                return OriginValidation.VALID
+        return OriginValidation.INVALID
+
+    def covered(self, announced: Prefix) -> bool:
+        """True when the RPKI says *anything* about the prefix."""
+        return bool(self.covering_vrps(announced))
+
+    def asns(self) -> set:
+        """Distinct origin ASes appearing in the VRP set."""
+        return {vrp.asn for vrp in self._vrps}
+
+    def __iter__(self) -> Iterator[VRP]:
+        return iter(self._vrps)
+
+    def __len__(self) -> int:
+        return len(self._vrps)
+
+    def __contains__(self, vrp: VRP) -> bool:
+        return vrp in self._vrps
+
+    def __repr__(self) -> str:
+        return f"<ValidatedPayloads {len(self._vrps)} VRPs>"

@@ -1,0 +1,28 @@
+"""Synthetic web ecosystem.
+
+Builds the world the measurement pipeline observes: an Alexa-style
+top list, hosting organisations (webhosters, ISPs, CDNs) with address
+space and AS numbers, DNS records including CDN CNAME chains, BGP
+originations, and an RPKI whose deployment pattern follows the
+stakeholder behaviour the paper reports (ISPs/hosters sign some ROAs,
+CDNs essentially none).
+"""
+
+from repro.web.alexa import AlexaRanking, Domain
+from repro.web.cdn import CDN_CATALOGUE, CDNOperator, total_cdn_ases
+from repro.web.ecosystem import EcosystemConfig, WebEcosystem
+from repro.web.httparchive import HTTPArchiveClassifier
+from repro.web.organisations import Organisation, OrgKind
+
+__all__ = [
+    "AlexaRanking",
+    "CDN_CATALOGUE",
+    "CDNOperator",
+    "Domain",
+    "EcosystemConfig",
+    "HTTPArchiveClassifier",
+    "Organisation",
+    "OrgKind",
+    "WebEcosystem",
+    "total_cdn_ases",
+]

@@ -1,0 +1,29 @@
+"""Web PKI substrate: domain-validated TLS certificates.
+
+Section 2.3 of the paper notes that "TLS does not necessarily protect
+against such an attack when prefix hijacking is in place [9]"
+(Gavrichenkov, Black Hat 2015): an attacker who hijacks a website's
+prefix — even briefly, even locally towards one certificate
+authority — passes the CA's domain-control validation and obtains a
+*valid* certificate for the victim domain.
+
+This package models the moving parts: TLS leaf certificates, a
+DV-issuing certificate authority whose validation traffic rides the
+(hijackable) routing substrate, a client-side verifier, and the
+end-to-end attack with and without RPKI enforcement at the CA's
+network.
+"""
+
+from repro.webpki.attack import BGPCertificateAttack, AttackResult
+from repro.webpki.ca import WebCA
+from repro.webpki.certificates import TLSCertificate
+from repro.webpki.validation import DomainControlValidator, ValidationOutcome
+
+__all__ = [
+    "AttackResult",
+    "BGPCertificateAttack",
+    "DomainControlValidator",
+    "TLSCertificate",
+    "ValidationOutcome",
+    "WebCA",
+]

@@ -1,0 +1,144 @@
+"""The BGP-breaks-TLS attack (Gavrichenkov, cited as [9]).
+
+Sequence:
+
+1. the victim's prefix is announced normally; the CA can reach the
+   genuine web server,
+2. the attacker announces a more-specific (or equal) prefix — even a
+   short-lived announcement suffices,
+3. while the hijack is in effect the attacker requests a certificate
+   for the victim's domain; the CA's validation connection lands at
+   the attacker, which answers the challenge,
+4. the attacker withdraws the hijack.  Routing heals, nobody keeps
+   evidence — but the attacker now owns a browser-trusted certificate
+   and can transparently intercept TLS whenever it gets on-path
+   again.
+
+RPKI origin validation at the CA's network stops step 3: the invalid
+more-specific never enters the CA's routing table, the validation
+connection reaches the real victim, issuance fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterable, Optional, Union
+
+from repro.bgp.messages import Announcement
+from repro.bgp.session import SessionSimulator
+from repro.bgp.topology import ASTopology
+from repro.crypto import DeterministicRNG, generate_keypair
+from repro.net import ASN, Address, Prefix
+from repro.rpki.vrp import ValidatedPayloads
+from repro.webpki.ca import WebCA
+from repro.webpki.certificates import TLSCertificate, verify_chain
+
+
+@dataclass
+class AttackResult:
+    """What the attacker walked away with."""
+
+    certificate: Optional[TLSCertificate]
+    hijack_messages: int          # UPDATE churn the hijack caused
+    healed: bool                  # routing restored after withdrawal
+    mitm_possible: bool           # browsers would accept the cert
+
+    @property
+    def succeeded(self) -> bool:
+        return self.certificate is not None
+
+    def __repr__(self) -> str:
+        verdict = "SUCCEEDED" if self.succeeded else "failed"
+        return f"<AttackResult {verdict}, mitm={self.mitm_possible}>"
+
+
+class BGPCertificateAttack:
+    """Stages the attack over a live session simulation."""
+
+    def __init__(
+        self,
+        topology: ASTopology,
+        legitimate_host_asn: Callable[[Address], Optional[ASN]],
+    ):
+        self._topology = topology
+        self._legitimate_host_asn = legitimate_host_asn
+
+    def execute(
+        self,
+        victim_domain: str,
+        victim_announcement: Announcement,
+        attacker_asn: Union[int, ASN],
+        ca: WebCA,
+        hijack_prefix: Optional[Union[str, Prefix]] = None,
+        payloads: Optional[ValidatedPayloads] = None,
+        enforcing: Iterable[ASN] = (),
+        rng_seed: str = "attack",
+        now: float = 0.0,
+    ) -> AttackResult:
+        attacker = ASN(attacker_asn)
+        victim_prefix = victim_announcement.prefix
+        if hijack_prefix is None:
+            hijack_prefix = Prefix(
+                victim_prefix.family,
+                victim_prefix.value,
+                min(victim_prefix.length + 2, 24),
+            )
+        elif isinstance(hijack_prefix, str):
+            hijack_prefix = Prefix.parse(hijack_prefix)
+
+        sim = SessionSimulator(self._topology)
+        if payloads is not None:
+            sim.configure_validation(payloads, enforcing)
+        sim.announce(victim_announcement)
+        sim.run()
+
+        # Step 2: the hijack goes up...
+        sim.announce(Announcement(prefix=hijack_prefix, origin=attacker))
+        hijack_messages = sim.run()
+
+        # Step 3: certificate request during the hijack window.
+        def routing_lookup(from_asn: ASN, address: Address) -> Optional[ASN]:
+            best = None
+            for prefix in (victim_prefix, hijack_prefix):
+                if prefix.contains(address):
+                    entry = sim.route_at(from_asn, prefix)
+                    if entry is not None and (
+                        best is None or prefix.length > best[0]
+                    ):
+                        best = (prefix.length, entry.origin)
+            return best[1] if best else None
+
+        applicant_key = generate_keypair(
+            DeterministicRNG(rng_seed).fork("applicant")
+        )
+        certificate = ca.request_certificate(
+            domain=victim_domain,
+            applicant_key=applicant_key.public,
+            applicant_asn=attacker,
+            routing_lookup=routing_lookup,
+            legitimate_host_asn=self._legitimate_host_asn,
+            now=now,
+        )
+
+        # Step 4: withdraw and let routing heal.
+        sim.withdraw(hijack_prefix, attacker)
+        sim.run()
+        healed_entry = sim.route_at(ca.asn, victim_prefix)
+        healed = (
+            healed_entry is not None
+            and healed_entry.origin == victim_announcement.origin
+            and sim.route_at(ca.asn, hijack_prefix) is None
+        )
+
+        mitm = certificate is not None and verify_chain(
+            certificate,
+            victim_domain,
+            ca.root_store_entry(),
+            now=now + 1.0,  # long after the hijack ended
+        )
+        return AttackResult(
+            certificate=certificate,
+            hijack_messages=hijack_messages,
+            healed=healed,
+            mitm_possible=mitm,
+        )

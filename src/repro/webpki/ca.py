@@ -1,0 +1,83 @@
+"""A domain-validating certificate authority."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Union
+
+from repro.crypto import DeterministicRNG, KeyPair, PublicKey, generate_keypair
+from repro.crypto.rsa import sign
+from repro.net import ASN
+from repro.webpki.certificates import TLSCertificate
+from repro.webpki.validation import DomainControlValidator, ValidationOutcome
+
+DEFAULT_CERT_LIFETIME = 90.0  # days, Let's-Encrypt style
+
+
+class WebCA:
+    """A CA that issues after an HTTP-01-style control check."""
+
+    def __init__(
+        self,
+        name: str,
+        rng: DeterministicRNG,
+        validator: DomainControlValidator,
+        lifetime: float = DEFAULT_CERT_LIFETIME,
+    ):
+        self.name = name
+        self.keypair: KeyPair = generate_keypair(rng.fork(f"webca:{name}"))
+        self._validator = validator
+        self._lifetime = lifetime
+        self._serials = itertools.count(1)
+        self.issued: Dict[int, TLSCertificate] = {}
+
+    @property
+    def asn(self) -> ASN:
+        return self._validator.ca_asn
+
+    def root_store_entry(self) -> Dict[str, PublicKey]:
+        """What browsers pin for this CA."""
+        return {self.keypair.public.fingerprint(): self.keypair.public}
+
+    def request_certificate(
+        self,
+        domain: str,
+        applicant_key: PublicKey,
+        applicant_asn: Union[int, ASN],
+        routing_lookup,
+        legitimate_host_asn,
+        now: float = 0.0,
+    ) -> Optional[TLSCertificate]:
+        """Run domain validation; issue on success, else None."""
+        outcome = self._validator.validate(
+            domain, applicant_asn, routing_lookup, legitimate_host_asn
+        )
+        if outcome is not ValidationOutcome.CONTROL_PROVEN:
+            return None
+        serial = next(self._serials)
+        unsigned = TLSCertificate(
+            domain=domain,
+            subject_key=applicant_key,
+            issuer=self.name,
+            issuer_fingerprint=self.keypair.public.fingerprint(),
+            serial=serial,
+            not_before=now,
+            not_after=now + self._lifetime,
+            signature=0,
+        )
+        signature = sign(unsigned.tbs_bytes(), self.keypair)
+        certificate = TLSCertificate(
+            domain=domain,
+            subject_key=applicant_key,
+            issuer=self.name,
+            issuer_fingerprint=unsigned.issuer_fingerprint,
+            serial=serial,
+            not_before=now,
+            not_after=now + self._lifetime,
+            signature=signature,
+        )
+        self.issued[serial] = certificate
+        return certificate
+
+    def __repr__(self) -> str:
+        return f"<WebCA {self.name!r} at {self.asn}, {len(self.issued)} issued>"

@@ -1,0 +1,70 @@
+"""TLS leaf certificates (domain-validated)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.digest import canonical_bytes
+from repro.crypto.keys import PublicKey
+from repro.crypto.rsa import verify
+
+
+@dataclass(frozen=True)
+class TLSCertificate:
+    """A leaf certificate binding a domain name to a subject key."""
+
+    domain: str
+    subject_key: PublicKey
+    issuer: str               # CA name
+    issuer_fingerprint: str   # CA key fingerprint
+    serial: int
+    not_before: float
+    not_after: float
+    signature: int
+
+    def tbs_bytes(self) -> bytes:
+        return canonical_bytes(
+            {
+                "domain": self.domain,
+                "subject": self.subject_key.to_dict(),
+                "issuer": self.issuer,
+                "issuer_fp": self.issuer_fingerprint,
+                "serial": self.serial,
+                "not_before": self.not_before,
+                "not_after": self.not_after,
+            }
+        )
+
+    def verify_signature(self, issuer_key: PublicKey) -> bool:
+        return verify(self.tbs_bytes(), self.signature, issuer_key)
+
+    def valid_at(self, now: float) -> bool:
+        return self.not_before <= now <= self.not_after
+
+    def matches_domain(self, domain: str) -> bool:
+        """Exact or single-label-wildcard-free match (DV certs here
+        cover exactly the validated name plus its www form)."""
+        domain = domain.lower().rstrip(".")
+        return domain == self.domain or domain == f"www.{self.domain}"
+
+    def __repr__(self) -> str:
+        return f"<TLSCertificate {self.domain!r} by {self.issuer}>"
+
+
+def verify_chain(
+    certificate: TLSCertificate,
+    domain: str,
+    trusted_roots: dict,
+    now: float,
+) -> bool:
+    """Client-side verification: trusted issuer, valid window, name
+    match, genuine signature.  ``trusted_roots`` maps CA fingerprint
+    to the CA's public key (the client's root store)."""
+    issuer_key = trusted_roots.get(certificate.issuer_fingerprint)
+    if issuer_key is None:
+        return False
+    if not certificate.valid_at(now):
+        return False
+    if not certificate.matches_domain(domain):
+        return False
+    return certificate.verify_signature(issuer_key)

@@ -1,0 +1,79 @@
+"""Domain-control validation over the routing substrate.
+
+An HTTP-01-style check: the CA resolves the domain, then "connects"
+to the resolved address *from its own AS*.  Whoever the routing
+system delivers that connection to can answer the challenge.  This is
+precisely the step a BGP hijack subverts — the CA's packets land at
+the attacker, who happily serves the expected token.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Union
+
+from repro.dns import PublicResolver
+from repro.dns.errors import DNSError, ResolutionError
+from repro.net import ASN, Address, Prefix
+
+
+class ValidationOutcome(enum.Enum):
+    CONTROL_PROVEN = "control_proven"
+    CONTROL_FAILED = "control_failed"
+    UNRESOLVABLE = "unresolvable"
+    UNROUTABLE = "unroutable"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class DomainControlValidator:
+    """Performs the CA-side reachability check.
+
+    ``address_owner`` maps an address to the AS that *legitimately*
+    hosts it (from the world's ground truth); the routing decision of
+    the CA's AS decides where the connection actually lands.
+    """
+
+    resolver: PublicResolver
+    ca_asn: ASN
+
+    def validate(
+        self,
+        domain: str,
+        claimant_asn: Union[int, ASN],
+        routing_lookup,
+        legitimate_host_asn,
+    ) -> ValidationOutcome:
+        """Check whether ``claimant_asn`` controls ``domain``.
+
+        ``routing_lookup(ca_asn, address)`` must return the origin AS
+        the CA's traffic for ``address`` is delivered to (or None);
+        ``legitimate_host_asn(address)`` returns the AS that genuinely
+        hosts the address.  Control is proven when the delivery AS is
+        the claimant — legitimately or through a hijack.
+        """
+        try:
+            answer = self.resolver.resolve(domain)
+        except (DNSError, ResolutionError):
+            return ValidationOutcome.UNRESOLVABLE
+        if not answer.addresses:
+            return ValidationOutcome.UNRESOLVABLE
+
+        claimant = ASN(claimant_asn)
+        for address in answer.addresses:
+            delivered_to = routing_lookup(self.ca_asn, address)
+            if delivered_to is None:
+                continue
+            if delivered_to == claimant:
+                return ValidationOutcome.CONTROL_PROVEN
+            legitimate = legitimate_host_asn(address)
+            if legitimate is not None and delivered_to == legitimate:
+                # The genuine host answered; the claimant (if not the
+                # host) fails.
+                if claimant == legitimate:
+                    return ValidationOutcome.CONTROL_PROVEN
+                return ValidationOutcome.CONTROL_FAILED
+        return ValidationOutcome.UNROUTABLE

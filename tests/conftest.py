@@ -1,0 +1,14 @@
+"""Shared fixtures: a session-scoped small world for integration tests."""
+
+import pytest
+
+from repro.web import EcosystemConfig, WebEcosystem
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A small but complete ecosystem shared by integration tests."""
+    config = EcosystemConfig(
+        domain_count=2000, seed=42, hoster_count=150, eyeball_count=60
+    )
+    return WebEcosystem.build(config)

@@ -1,0 +1,76 @@
+"""Tests for terminal chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import _resample, series_chart, sparkline
+from repro.analysis.series import BinnedSeries
+
+
+class TestSparkline:
+    def test_monotone_shape(self):
+        spark = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert spark == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_fixed_scale(self):
+        spark = sparkline([0.5], minimum=0.0, maximum=1.0)
+        assert spark in "▄▅"
+
+    def test_values_clamped_to_scale(self):
+        spark = sparkline([2.0, -1.0], minimum=0.0, maximum=1.0)
+        assert spark == "█▁"
+
+
+class TestSeriesChart:
+    def make(self, label, values, counts=None):
+        return BinnedSeries(
+            label=label, bin_size=10, values=values,
+            counts=counts if counts is not None else [10] * len(values),
+        )
+
+    def test_renders_all_series(self):
+        chart = series_chart(
+            {
+                "up": self.make("up", [0.0, 0.5, 1.0]),
+                "down": self.make("down", [1.0, 0.5, 0.0]),
+            }
+        )
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("up")
+        assert "[0.0000 .. 1.0000]" in lines[0]
+
+    def test_empty_map(self):
+        assert series_chart({}) == ""
+
+    def test_empty_bins_dropped(self):
+        series = self.make("x", [0.1, 0.2, 0.0, 0.0], counts=[5, 5, 0, 0])
+        values = _resample(series, width=10)
+        assert values == [0.1, 0.2]
+
+    def test_resample_weighted_average(self):
+        series = self.make("x", [0.0, 1.0], counts=[30, 10])
+        values = _resample(series, width=1)
+        assert values == [pytest.approx(0.25)]
+
+    def test_resample_down_to_width(self):
+        series = self.make("x", [float(i) for i in range(100)])
+        values = _resample(series, width=10)
+        assert len(values) == 10
+        assert values == sorted(values)
+
+    def test_shared_scale_differs_from_independent(self):
+        small = self.make("small", [0.0, 0.01])
+        large = self.make("large", [0.0, 1.0])
+        shared = series_chart({"small": small, "large": large}, shared_scale=True)
+        independent = series_chart(
+            {"small": small, "large": large}, shared_scale=False
+        )
+        # Under a shared scale the small series is flat; independently
+        # scaled it spans the full range.
+        assert shared.splitlines()[0] != independent.splitlines()[0]

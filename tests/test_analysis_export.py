@@ -1,0 +1,84 @@
+"""Tests for CSV export of study outputs."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import (
+    export_domain_summary,
+    export_measurements,
+    export_series,
+)
+from repro.analysis.series import BinnedSeries
+from repro.core import MeasurementStudy, figure1_www_overlap
+
+
+@pytest.fixture(scope="module")
+def study_result(small_world):
+    return MeasurementStudy.from_ecosystem(small_world).run()
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+class TestExportMeasurements:
+    def test_row_count_matches_pairs(self, study_result, tmp_path):
+        path = tmp_path / "pairs.csv"
+        rows = export_measurements(study_result, path)
+        expected = sum(
+            len(m.www.pairs) + len(m.plain.pairs) for m in study_result
+        )
+        assert rows == expected
+        data = read_csv(path)
+        assert len(data) == rows
+
+    def test_columns_and_values(self, study_result, tmp_path):
+        path = tmp_path / "pairs.csv"
+        export_measurements(study_result, path)
+        data = read_csv(path)
+        first = data[0]
+        assert set(first) == {
+            "rank", "domain", "form", "prefix", "origin_asn", "state",
+        }
+        assert first["form"] in ("www", "plain")
+        assert first["state"] in ("valid", "invalid", "not_found")
+        assert "/" in first["prefix"]
+        assert int(first["origin_asn"]) > 0
+
+
+class TestExportDomainSummary:
+    def test_one_row_per_domain(self, study_result, tmp_path):
+        path = tmp_path / "domains.csv"
+        rows = export_domain_summary(study_result, path)
+        assert rows == len(study_result)
+        data = read_csv(path)
+        assert [int(r["rank"]) for r in data[:5]] == [1, 2, 3, 4, 5]
+
+    def test_fractions_consistent(self, study_result, tmp_path):
+        path = tmp_path / "domains.csv"
+        export_domain_summary(study_result, path)
+        for row in read_csv(path)[:100]:
+            total = (
+                float(row["valid_fraction"])
+                + float(row["invalid_fraction"])
+                + float(row["notfound_fraction"])
+            )
+            if int(row["usable"]):
+                assert total == pytest.approx(1.0, abs=1e-5)
+            if row["prefix_overlap"]:
+                assert 0.0 <= float(row["prefix_overlap"]) <= 1.0
+
+
+class TestExportSeries:
+    def test_long_format(self, study_result, tmp_path):
+        path = tmp_path / "series.csv"
+        series = figure1_www_overlap(study_result)
+        extra = BinnedSeries("other", 10, [0.5, 0.7], counts=[10, 10])
+        rows = export_series([series, extra], path)
+        assert rows == len(series) + 2
+        data = read_csv(path)
+        labels = {row["series"] for row in data}
+        assert labels == {series.label, "other"}
+        assert int(data[0]["bin_start"]) == 1

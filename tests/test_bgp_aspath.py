@@ -1,0 +1,75 @@
+"""Unit tests for repro.bgp.aspath."""
+
+import pytest
+
+from repro.bgp import ASPath, Segment, SegmentType
+from repro.bgp.errors import PathError
+from repro.net import ASN
+
+
+class TestConstruction:
+    def test_of(self):
+        path = ASPath.of(3320, 1299, 64500)
+        assert str(path) == "3320 1299 64500"
+        assert len(path) == 3
+        assert path.origin() == 64500
+
+    def test_empty_path(self):
+        path = ASPath(())
+        assert len(path) == 0
+        assert path.origin() is None
+        assert not path.has_as_set()
+
+    def test_parse_sequence(self):
+        path = ASPath.parse("3320 1299 64500")
+        assert path == ASPath.of(3320, 1299, 64500)
+
+    def test_parse_with_as_set(self):
+        path = ASPath.parse("3320 {64500,64501}")
+        assert path.has_as_set()
+        assert path.origin() is None
+        assert str(path) == "3320 {64500,64501}"
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(PathError):
+            Segment(SegmentType.AS_SEQUENCE, ())
+
+
+class TestSemantics:
+    def test_prepend(self):
+        path = ASPath.of(64500).prepend(1299).prepend(3320)
+        assert str(path) == "3320 1299 64500"
+        assert path.origin() == 64500
+
+    def test_prepend_onto_as_set_path(self):
+        path = ASPath.parse("{64500,64501}").prepend(3320)
+        assert str(path) == "3320 {64500,64501}"
+        assert path.origin() is None
+
+    def test_prepend_onto_empty(self):
+        assert str(ASPath(()).prepend(7)) == "7"
+
+    def test_as_set_counts_one_hop(self):
+        path = ASPath.parse("3320 {64500,64501,64502}")
+        assert len(path) == 2
+
+    def test_as_set_canonical_order(self):
+        a = Segment(SegmentType.AS_SET, (ASN(2), ASN(1), ASN(2)))
+        b = Segment(SegmentType.AS_SET, (ASN(1), ASN(2)))
+        assert a == b
+
+    def test_contains_for_loop_detection(self):
+        path = ASPath.parse("3320 {64500,64501}")
+        assert path.contains(3320)
+        assert path.contains(64501)
+        assert not path.contains(9999)
+
+    def test_iter_and_equality(self):
+        path = ASPath.of(1, 2, 3)
+        assert list(path) == [1, 2, 3]
+        assert path == ASPath.of(1, 2, 3)
+        assert path != ASPath.of(3, 2, 1)
+        assert hash(path) == hash(ASPath.of(1, 2, 3))
+
+    def test_repr(self):
+        assert "1 2" in repr(ASPath.of(1, 2))

@@ -1,0 +1,109 @@
+"""Tests for the on-path interference census (Great Cannon model)."""
+
+import pytest
+
+from repro.bgp import Announcement, ASTopology, PropagationEngine
+from repro.bgp.onpath import (
+    exposure_fraction,
+    forwarding_path,
+    injection_influence,
+    onpath_clients,
+)
+from repro.net import ASN, Prefix
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+@pytest.fixture()
+def world():
+    """Star-ish topology: transit 2 carries everything.
+
+        2 (transit)
+       /|\\
+      1 3 4
+      |   |
+     10   40    (10 = content origin, 40 = a client stub)
+    """
+    topo = ASTopology()
+    for asn in (1, 2, 3, 4, 10, 40):
+        topo.add_as(asn)
+    for customer in (1, 3, 4):
+        topo.add_provider(customer, 2)
+    topo.add_provider(10, 1)
+    topo.add_provider(40, 4)
+    state = PropagationEngine(topo).propagate(
+        [Announcement.make("5.0.0.0/16", 10)]
+    )
+    return topo, state
+
+
+class TestForwardingPath:
+    def test_path_hops(self, world):
+        _topo, state = world
+        path = forwarding_path(state, 40, P("5.0.0.0/16"))
+        assert [int(a) for a in path] == [40, 4, 2, 1, 10]
+
+    def test_origin_path(self, world):
+        _topo, state = world
+        assert [int(a) for a in forwarding_path(state, 10, P("5.0.0.0/16"))] == [10]
+
+    def test_unreachable_is_none(self, world):
+        _topo, state = world
+        assert forwarding_path(state, 40, P("9.9.0.0/16")) is None
+
+
+class TestOnPathCensus:
+    def test_transit_sees_remote_clients(self, world):
+        _topo, state = world
+        exposed = onpath_clients(state, P("5.0.0.0/16"), via=2)
+        # 3, 4, 40 all cross the transit; 1 reaches 10 directly below.
+        assert exposed == {ASN(3), ASN(4), ASN(40)}
+
+    def test_origin_and_via_excluded(self, world):
+        _topo, state = world
+        exposed = onpath_clients(state, P("5.0.0.0/16"), via=2)
+        assert ASN(2) not in exposed
+        assert ASN(10) not in exposed
+
+    def test_leaf_as_has_no_onpath_power(self, world):
+        _topo, state = world
+        assert onpath_clients(state, P("5.0.0.0/16"), via=40) == set()
+
+    def test_influence_ranking(self, world):
+        _topo, state = world
+        ranking = injection_influence(state, P("5.0.0.0/16"))
+        assert ranking[0][0] == ASN(2) or ranking[0][0] == ASN(1)
+        # AS1 is on every path (direct provider of the origin).
+        influence = dict(ranking)
+        assert influence[ASN(1)] >= influence[ASN(2)]
+        # Stubs never appear.
+        assert ASN(40) not in influence
+
+    def test_exposure_fraction(self, world):
+        topo, state = world
+        fraction = exposure_fraction(state, topo, P("5.0.0.0/16"), 2)
+        assert fraction == pytest.approx(3 / 6)
+
+
+class TestEcosystemCensus:
+    def test_popular_site_onpath_power_concentrates(self, small_world):
+        """In the full synthetic Internet, tier-1/transit networks sit
+        on most paths towards any hosted prefix — the Great-Cannon
+        position is structural."""
+        from repro.bgp import PropagationEngine
+
+        org = next(
+            o for o in small_world.organisations if o.kind.value == "hoster"
+        )
+        prefix, origin = sorted(org.prefixes.items())[0]
+        state = PropagationEngine(small_world.topology).propagate(
+            [Announcement.make(prefix, origin)]
+        )
+        ranking = injection_influence(state, prefix)
+        assert ranking, "someone must be on-path"
+        top_asn, top_count = ranking[0]
+        role = small_world.topology.node(top_asn).role.value
+        assert role in ("tier1", "transit")
+        assert top_count > len(small_world.topology) * 0.1

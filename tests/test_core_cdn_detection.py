@@ -1,0 +1,57 @@
+"""Unit tests for the chain-length CDN heuristic."""
+
+import pytest
+
+from repro.core import ChainHeuristic, DomainMeasurement, NameMeasurement
+from repro.web.alexa import Domain
+
+
+def measurement(rank, name, www_cnames, plain_cnames=0):
+    return DomainMeasurement(
+        domain=Domain(rank=rank, name=name),
+        www=NameMeasurement(name=f"www.{name}", cname_count=www_cnames),
+        plain=NameMeasurement(name=name, cname_count=plain_cnames),
+    )
+
+
+class TestChainHeuristic:
+    def test_default_threshold_is_two(self):
+        heuristic = ChainHeuristic()
+        assert heuristic.min_cnames == 2
+        assert heuristic.is_cdn(measurement(1, "a.com", www_cnames=2))
+        assert not heuristic.is_cdn(measurement(1, "a.com", www_cnames=1))
+
+    def test_either_form_counts(self):
+        heuristic = ChainHeuristic()
+        assert heuristic.is_cdn(measurement(1, "a.com", 0, plain_cnames=2))
+
+    def test_classify_all(self):
+        heuristic = ChainHeuristic()
+        classified = heuristic.classify_all(
+            [
+                measurement(1, "cdn.com", 2),
+                measurement(2, "plain.com", 1),
+            ]
+        )
+        assert classified == {"cdn.com": True, "plain.com": False}
+
+    def test_agreement_counting(self):
+        heuristic = ChainHeuristic()
+        measurements = [
+            measurement(1, "both.com", 2),
+            measurement(2, "chain-only.com", 3),
+            measurement(3, "ref-only.com", 1),
+            measurement(4, "neither.com", 0),
+        ]
+        reference = {"both.com": "Akamai", "ref-only.com": "Cloudflare"}
+        counts = heuristic.agreement(measurements, reference)
+        assert counts == {
+            "both": 1, "chain_only": 1, "reference_only": 1, "neither": 1,
+        }
+
+    def test_custom_threshold(self):
+        strict = ChainHeuristic(min_cnames=3)
+        assert not strict.is_cdn(measurement(1, "a.com", 2))
+        assert strict.is_cdn(measurement(1, "a.com", 3))
+        loose = ChainHeuristic(min_cnames=1)
+        assert loose.is_cdn(measurement(1, "a.com", 1))

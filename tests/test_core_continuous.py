@@ -1,0 +1,121 @@
+"""Tests for continuous-measurement acceleration and hosting churn."""
+
+import pytest
+
+from repro.core import MeasurementStudy
+from repro.core.continuous import ContinuousStudy, compare_results
+from repro.web import EcosystemConfig, WebEcosystem
+
+
+@pytest.fixture()
+def world():
+    """A private (mutable!) world — churn must not touch the shared
+    session fixture."""
+    return WebEcosystem.build(
+        EcosystemConfig(domain_count=600, seed=11, hoster_count=80)
+    )
+
+
+class TestChurn:
+    def test_rehost_changes_resolution(self, world):
+        resolver = world.resolvers()[0]
+        before = {
+            d.name: [str(a) for a in resolver.resolve(d.name).addresses]
+            for d in world.ranking
+        }
+        changed = world.rehost(0.2)
+        assert len(changed) == 120
+        moved = 0
+        for name in changed:
+            after = [str(a) for a in resolver.resolve(name).addresses]
+            if after != before[name]:
+                moved += 1
+        # Random re-assignment occasionally lands on the same host;
+        # the overwhelming majority must move.
+        assert moved > len(changed) * 0.8
+
+    def test_rehost_preserves_unchanged_domains(self, world):
+        resolver = world.resolvers()[0]
+        before = {
+            d.name: [str(a) for a in resolver.resolve(d.name).addresses]
+            for d in world.ranking
+        }
+        changed = set(world.rehost(0.1))
+        for domain in world.ranking:
+            if domain.name in changed:
+                continue
+            after = [str(a) for a in resolver.resolve(domain.name).addresses]
+            assert after == before[domain.name], domain.name
+
+    def test_rehost_deterministic(self):
+        a = WebEcosystem.build(EcosystemConfig(domain_count=300, seed=5))
+        b = WebEcosystem.build(EcosystemConfig(domain_count=300, seed=5))
+        assert a.rehost(0.1) == b.rehost(0.1)
+
+    def test_rehost_validates_fraction(self, world):
+        with pytest.raises(ValueError):
+            world.rehost(1.5)
+
+    def test_ground_truth_updated(self, world):
+        changed = world.rehost(0.3, generation=2)
+        for name in changed:
+            assert name in world.hosting.ground_truth
+
+
+class TestContinuousStudy:
+    def test_refresh_without_baseline_rejected(self, world):
+        continuous = ContinuousStudy(MeasurementStudy.from_ecosystem(world))
+        with pytest.raises(RuntimeError):
+            continuous.refresh()
+
+    def test_steady_state_saves_queries_with_zero_staleness(self, world):
+        study = MeasurementStudy.from_ecosystem(world)
+        continuous = ContinuousStudy(study)
+        continuous.baseline()
+        result, stats = continuous.refresh()  # nothing changed
+        assert stats.www_carried_over > stats.www_measured
+        assert stats.saving_fraction > 0.3
+        full = study.run()
+        report = compare_results(result, full)
+        assert report.stale_fraction == 0.0
+
+    def test_churned_world_mostly_caught(self, world):
+        study = MeasurementStudy.from_ecosystem(world)
+        continuous = ContinuousStudy(study)
+        continuous.baseline()
+        changed = set(world.rehost(0.15))
+        result, stats = continuous.refresh()
+        full = study.run()
+        report = compare_results(result, full)
+        # Moves are detected via the apex answer, which churn changes
+        # alongside www; staleness stays small.
+        assert report.stale_fraction < 0.02
+        assert stats.www_measured >= 1
+        # Changed-and-caught domains carry fresh www data.
+        fresh = 0
+        for name in changed:
+            incremental = result.lookup(name)
+            truth = full.lookup(name)
+            if set(incremental.www.pairs) == set(truth.www.pairs):
+                fresh += 1
+        assert fresh / max(len(changed), 1) > 0.95
+
+    def test_second_refresh_uses_first_as_prior(self, world):
+        study = MeasurementStudy.from_ecosystem(world)
+        continuous = ContinuousStudy(study)
+        continuous.baseline()
+        world.rehost(0.1)
+        continuous.refresh()
+        world.rehost(0.1, generation=2)
+        result, stats = continuous.refresh()
+        full = study.run()
+        assert compare_results(result, full).stale_fraction < 0.02
+        assert stats.apex_measured == len(world.ranking)
+
+    def test_statistics_track_current_state(self, world):
+        study = MeasurementStudy.from_ecosystem(world)
+        continuous = ContinuousStudy(study)
+        baseline = continuous.baseline()
+        result, _stats = continuous.refresh()
+        assert result.statistics.domain_count == baseline.statistics.domain_count
+        assert result.statistics.plain_addresses > 0

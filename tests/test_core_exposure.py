@@ -1,0 +1,56 @@
+"""Unit tests for the Section 5.2 exposure analysis."""
+
+import pytest
+
+from repro.core.exposure import ExposureReport, analyse_exposure
+
+
+@pytest.fixture(scope="module")
+def report(small_world):
+    return analyse_exposure(small_world)
+
+
+class TestExposureReport:
+    def test_rpki_only_is_set_difference(self):
+        report = ExposureReport(
+            roa_relations={("a", "b"), ("a", "c")},
+            bgp_relations={("a", "b"), ("x", "y")},
+        )
+        assert report.rpki_only == {("a", "c")}
+        assert report.exposure_count == 1
+        assert "1 exposed" in report.summary()
+
+    def test_empty_report(self):
+        report = ExposureReport()
+        assert report.exposure_count == 0
+
+
+class TestWorldAnalysis:
+    def test_backups_exposed(self, small_world, report):
+        backups = small_world.adoption.backup_authorizations
+        assert backups  # the adoption model should produce some
+        for prefix, partner in backups.items():
+            owner = next(
+                org.name
+                for org in small_world.organisations
+                if prefix in org.prefixes
+            )
+            partner_org = small_world.org_of_asn(partner).name
+            assert (owner, partner_org) in report.rpki_only
+
+    def test_no_self_relations(self, report):
+        for owner, other in report.roa_relations | report.bgp_relations:
+            assert owner != other
+
+    def test_bgp_relations_exist(self, small_world, report):
+        # AS_SET aggregates with private member ASNs produce no
+        # org-level relation; CDN-cache placements do not either (the
+        # prefix owner originates its own prefix).  Backup partners
+        # are the RPKI-only kind.  But misconfigured ROAs (origin+1,
+        # usually a neighbouring org's AS) create ROA-side relations.
+        assert isinstance(report.bgp_relations, set)
+
+    def test_exposure_at_least_backups(self, small_world, report):
+        assert report.exposure_count >= len(
+            small_world.adoption.backup_authorizations
+        )

@@ -1,0 +1,178 @@
+"""Integration tests for the four-step measurement pipeline."""
+
+import pytest
+
+from repro.core import (
+    ChainHeuristic,
+    MeasurementStudy,
+    figure1_www_overlap,
+    figure2_rpki_outcome,
+    figure3_cdn_popularity,
+    figure4_rpki_cdn,
+    pipeline_statistics,
+    table1_top_covered,
+)
+from repro.core.cdn_asns import build_cdn_as_report
+from repro.core.dns_mapping import cross_check, measure_name
+from repro.core.reports import cdn_as_report, default_bin_size, render_table1
+from repro.rpki.vrp import OriginValidation
+from repro.web import HTTPArchiveClassifier
+
+
+@pytest.fixture(scope="module")
+def study_result(small_world):
+    return MeasurementStudy.from_ecosystem(small_world).run()
+
+
+class TestPipeline:
+    def test_all_domains_measured(self, small_world, study_result):
+        assert len(study_result) == len(small_world.ranking)
+
+    def test_most_domains_usable(self, study_result):
+        usable = study_result.usable()
+        assert len(usable) > 0.98 * len(study_result)
+
+    def test_by_rank_order(self, study_result):
+        ranks = [m.rank for m in study_result.by_rank()]
+        assert ranks == sorted(ranks)
+        assert ranks[0] == 1
+
+    def test_lookup(self, small_world, study_result):
+        name = small_world.ranking[0].name
+        assert study_result.lookup(name).domain.name == name
+        assert study_result.lookup("not-a-domain.example") is None
+
+    def test_invalid_dns_domains_excluded(self, small_world, study_result):
+        for measurement in study_result:
+            truth = small_world.hosting.ground_truth[measurement.domain.name]
+            if truth.invalid_dns:
+                assert not measurement.usable
+                assert (
+                    measurement.www.excluded_special
+                    + measurement.plain.excluded_special
+                    > 0
+                )
+
+    def test_pairs_follow_ground_truth_rpki(self, small_world, study_result):
+        signed = set(small_world.adoption.signed_prefixes)
+        for measurement in study_result:
+            for pair in measurement.combined_pairs():
+                if pair.state is OriginValidation.VALID:
+                    assert pair.prefix in signed or any(
+                        s.covers(pair.prefix) for s in signed
+                    )
+
+    def test_statistics_consistency(self, study_result):
+        stats = pipeline_statistics(study_result)
+        assert stats["domains"] == len(study_result)
+        assert stats["www_addresses"] > 0
+        assert stats["plain_addresses"] > 0
+        assert 0 <= stats["invalid_dns_fraction"] < 0.01
+        assert 0 <= stats["unreachable_fraction"] < 0.01
+
+    def test_cdn_heuristic_matches_ground_truth(self, small_world, study_result):
+        heuristic = ChainHeuristic()
+        for measurement in study_result:
+            truth = small_world.hosting.ground_truth[measurement.domain.name]
+            if truth.chain_style == "full":
+                assert heuristic.is_cdn(measurement)
+            elif truth.chain_style == "short":
+                # Single-CNAME deployments are invisible to the chain
+                # heuristic unless the apex adds an indirection.
+                pass
+            elif not truth.uses_cdn and not truth.invalid_dns:
+                assert not heuristic.is_cdn(measurement)
+
+
+class TestDNSMapping:
+    def test_measure_unknown_name(self, small_world):
+        resolver = small_world.resolvers()[0]
+        measurement = measure_name(resolver, "missing.example")
+        assert not measurement.resolved
+        assert not measurement.usable
+
+    def test_cross_check_noncdn_agrees(self, small_world):
+        resolvers = small_world.resolvers()
+        for domain in small_world.ranking.top(50):
+            truth = small_world.hosting.ground_truth[domain.name]
+            if truth.uses_cdn or truth.invalid_dns:
+                continue
+            agree, measurements = cross_check(resolvers, domain.name)
+            assert agree
+            assert len(measurements) == 3
+
+
+class TestReports:
+    def test_default_bin_size(self, study_result):
+        assert default_bin_size(study_result) == len(study_result) // 100
+
+    def test_figure1_bins(self, study_result):
+        series = figure1_www_overlap(study_result)
+        assert len(series) == 100
+        assert all(0.0 <= v <= 1.0 for v in series.values)
+        # Popular domains share prefixes less often (Fig. 1 shape).
+        assert series.head_mean(10) < series.tail_mean(10)
+
+    def test_figure2_fractions_sum_to_one(self, study_result):
+        fig2 = figure2_rpki_outcome(study_result)
+        for v, i, n in zip(
+            fig2["valid"].values, fig2["invalid"].values,
+            fig2["not_found"].values,
+        ):
+            assert v + i + n == pytest.approx(1.0, abs=1e-9)
+
+    def test_figure2_trend(self, study_result):
+        fig2 = figure2_rpki_outcome(study_result)
+        # "Less popular content is more secured" is a small systematic
+        # effect; at this fixture's scale we only assert it is not
+        # reversed beyond noise (the full-scale check lives in the
+        # figure-2 benchmark).
+        assert fig2["valid"].tail_mean(50) > fig2["valid"].head_mean(50) - 0.015
+        assert fig2["not_found"].mean() > 0.85
+
+    def test_table1(self, study_result):
+        rows = table1_top_covered(study_result, count=10)
+        assert 0 < len(rows) <= 10
+        ranks = [row.rank for row in rows]
+        assert ranks == sorted(ranks)
+        rendered = render_table1(rows)
+        assert "Rank" in rendered and "w/o www" in rendered
+
+    def test_figure3(self, small_world, study_result):
+        classifier = HTTPArchiveClassifier(
+            small_world.namespace, coverage=len(study_result) * 3 // 10
+        )
+        archive = classifier.classify_all(small_world.ranking)
+        fig3 = figure3_cdn_popularity(study_result, archive, classifier.coverage)
+        google, httparchive = fig3["GoogleDNS"], fig3["HTTPArchive"]
+        # CDN share declines with rank under both heuristics.
+        assert google.head_mean(10) > google.tail_mean(10)
+        # The chain heuristic is the conservative under-estimate.
+        assert google.head_mean(30) < httparchive.head_mean(30)
+        # HTTPArchive covers only the head.
+        assert all(c == 0 for c in httparchive.counts[31:])
+
+    def test_figure4(self, study_result):
+        fig4 = figure4_rpki_cdn(study_result)
+        overall = fig4["rpki_enabled"].mean()
+        cdn = fig4["rpki_enabled_cdn"].mean()
+        assert 0.0 < overall < 0.2
+        assert cdn < overall  # CDN-hosted sites are worse off
+
+    def test_cdn_as_report_matches_paper(self, small_world):
+        report = cdn_as_report(small_world)
+        assert report.total_cdn_ases == 199
+        assert report.rpki_entry_count == 4
+        assert len(report.rpki_origin_ases) == 3
+        assert report.operators_with_rpki == {"Internap"}
+        assert len(report.ases_per_operator["Internap"]) == 41
+        assert "199 CDN ASes" in report.summary()
+
+    def test_chain_heuristic_agreement_counts(self, small_world, study_result):
+        classifier = HTTPArchiveClassifier(small_world.namespace)
+        archive = classifier.classify_all(small_world.ranking)
+        counts = ChainHeuristic().agreement(study_result, archive)
+        assert sum(counts.values()) == len(study_result)
+        # Pattern matching sees the short-chain deployments too.
+        assert counts["reference_only"] >= 0
+        assert counts["chain_only"] == 0 or counts["both"] > 0

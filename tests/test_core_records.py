@@ -1,0 +1,130 @@
+"""Unit tests for measurement records and per-domain metrics."""
+
+import pytest
+
+from repro.core import DomainMeasurement, NameMeasurement, PrefixOriginPair
+from repro.net import ASN, Address, Prefix
+from repro.rpki.vrp import OriginValidation
+from repro.web.alexa import Domain
+
+
+def pair(prefix, origin, state):
+    return PrefixOriginPair(Prefix.parse(prefix), ASN(origin), state)
+
+
+V, I, N = OriginValidation.VALID, OriginValidation.INVALID, OriginValidation.NOT_FOUND
+
+
+def name_measurement(name="x.com", pairs=(), cnames=0, resolved=True):
+    m = NameMeasurement(name=name, resolved=resolved, cname_count=cnames)
+    m.pairs = list(pairs)
+    if resolved:
+        m.addresses = [Address.parse("192.0.2.1")]
+    return m
+
+
+class TestNameMeasurement:
+    def test_state_fractions(self):
+        m = name_measurement(pairs=[
+            pair("10.0.0.0/16", 1, V),
+            pair("10.0.0.0/8", 2, I),
+            pair("11.0.0.0/16", 3, N),
+            pair("12.0.0.0/16", 4, N),
+        ])
+        valid, invalid, notfound = m.state_fractions()
+        assert valid == 0.25
+        assert invalid == 0.25
+        assert notfound == 0.5
+
+    def test_empty_fractions(self):
+        assert name_measurement(pairs=[]).state_fractions() == (0.0, 0.0, 0.0)
+
+    def test_coverage_probability(self):
+        # The paper's "3/5 or 60% RPKI coverage of foo.bar".
+        pairs = [pair(f"10.{i}.0.0/16", i, V if i < 3 else N) for i in range(5)]
+        m = name_measurement(pairs=pairs)
+        assert m.coverage() == pytest.approx(0.6)
+        assert m.covered_count() == 3
+        assert m.rpki_enabled
+        assert not m.fully_covered
+        assert m.coverage_label() == "(3/5)"
+
+    def test_invalid_counts_as_covered(self):
+        m = name_measurement(pairs=[pair("10.0.0.0/16", 1, I)])
+        assert m.coverage() == 1.0
+        assert m.rpki_enabled
+
+    def test_unusable_label(self):
+        m = NameMeasurement(name="x.com")
+        assert m.coverage_label() == "n/a"
+        assert not m.usable
+        assert not m.rpki_enabled
+
+    def test_prefixes_dedup(self):
+        m = name_measurement(pairs=[
+            pair("10.0.0.0/16", 1, V), pair("10.0.0.0/16", 2, N),
+        ])
+        assert m.prefixes() == {Prefix.parse("10.0.0.0/16")}
+
+
+class TestDomainMeasurement:
+    def make(self, www_pairs, plain_pairs, www_cnames=0, plain_cnames=0):
+        return DomainMeasurement(
+            domain=Domain(rank=1, name="x.com"),
+            www=name_measurement("www.x.com", www_pairs, www_cnames),
+            plain=name_measurement("x.com", plain_pairs, plain_cnames),
+        )
+
+    def test_cdn_heuristic_threshold(self):
+        m = self.make([], [], www_cnames=2)
+        assert m.is_cdn()
+        assert not self.make([], [], www_cnames=1).is_cdn()
+        assert self.make([], [], plain_cnames=3).is_cdn()
+        assert self.make([], [], www_cnames=1).is_cdn(min_cnames=1)
+
+    def test_prefix_overlap_full(self):
+        pairs = [pair("10.0.0.0/16", 1, N)]
+        assert self.make(pairs, pairs).prefix_overlap() == 1.0
+
+    def test_prefix_overlap_partial(self):
+        www = [pair("10.0.0.0/16", 1, N), pair("11.0.0.0/16", 1, N)]
+        plain = [pair("10.0.0.0/16", 1, N)]
+        assert self.make(www, plain).prefix_overlap() == pytest.approx(0.5)
+
+    def test_prefix_overlap_disjoint(self):
+        www = [pair("10.0.0.0/16", 1, N)]
+        plain = [pair("11.0.0.0/16", 1, N)]
+        assert self.make(www, plain).prefix_overlap() == 0.0
+
+    def test_prefix_overlap_unusable_is_none(self):
+        m = DomainMeasurement(
+            domain=Domain(rank=1, name="x.com"),
+            www=NameMeasurement(name="www.x.com"),
+            plain=name_measurement("x.com", [pair("10.0.0.0/16", 1, N)]),
+        )
+        assert m.prefix_overlap() is None
+
+    def test_combined_pairs_dedup(self):
+        shared = pair("10.0.0.0/16", 1, V)
+        m = self.make([shared], [shared, pair("11.0.0.0/16", 2, N)])
+        assert len(m.combined_pairs()) == 2
+
+    def test_combined_state_fractions(self):
+        m = self.make(
+            [pair("10.0.0.0/16", 1, V)],
+            [pair("11.0.0.0/16", 2, N)],
+        )
+        valid, invalid, notfound = m.state_fractions()
+        assert valid == 0.5
+        assert notfound == 0.5
+
+    def test_rpki_enabled_any_form(self):
+        enabled = self.make([pair("10.0.0.0/16", 1, V)], [])
+        assert enabled.rpki_enabled
+        disabled = self.make([pair("10.0.0.0/16", 1, N)], [])
+        assert not disabled.rpki_enabled
+
+    def test_pair_covered_property(self):
+        assert pair("10.0.0.0/16", 1, V).covered
+        assert pair("10.0.0.0/16", 1, I).covered
+        assert not pair("10.0.0.0/16", 1, N).covered

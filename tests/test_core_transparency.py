@@ -1,0 +1,102 @@
+"""Tests for the Section 5.1 transparency report."""
+
+import pytest
+
+from repro.core.transparency import audit_domain, render_report
+from repro.rpki.vrp import OriginValidation
+
+
+@pytest.fixture(scope="module")
+def audited(small_world):
+    """Audit a representative sample of domains once."""
+    reports = {}
+    for domain in small_world.ranking.top(300):
+        reports[domain.name] = audit_domain(small_world, domain.name)
+    return reports
+
+
+class TestAudit:
+    def test_unknown_domain_raises(self, small_world):
+        with pytest.raises(KeyError):
+            audit_domain(small_world, "not-in-the-ranking.example")
+
+    def test_grades_well_formed(self, audited):
+        grades = {report.grade for report in audited.values()}
+        assert grades <= {"A", "B", "C", "F"}
+        assert "C" in grades  # uncovered domains dominate
+
+    def test_invalid_dns_domains_fail(self, small_world, audited):
+        for name, report in audited.items():
+            truth = small_world.hosting.ground_truth[name]
+            if truth.invalid_dns:
+                assert report.grade == "F"
+                assert not report.resolvable
+                assert "does not resolve" in report.issues()[0]
+
+    def test_fully_covered_domains_grade_a(self, audited):
+        a_graded = [r for r in audited.values() if r.grade == "A"]
+        for report in a_graded:
+            assert report.fully_protected
+            assert not report.unprotected_prefixes
+            assert not report.issues()
+
+    def test_partial_domains_grade_b(self, audited):
+        partial = [r for r in audited.values() if r.grade == "B"]
+        for report in partial:
+            assert report.unprotected_prefixes
+            covered = len(report.pairs) - len(report.unprotected_prefixes)
+            assert covered > 0
+            assert any("has no ROA" in issue for issue in report.issues())
+
+    def test_invalid_pairs_downgrade_to_f(self, audited):
+        for report in audited.values():
+            if report.invalid_pairs:
+                assert report.grade == "F"
+                assert any("RPKI-invalid" in i for i in report.issues())
+
+    def test_cdn_flag_matches_ground_truth(self, small_world, audited):
+        for name, report in audited.items():
+            truth = small_world.hosting.ground_truth[name]
+            if truth.chain_style == "full":
+                assert report.uses_cdn
+
+    def test_resolver_agreement_for_noncdn(self, small_world, audited):
+        for name, report in audited.items():
+            truth = small_world.hosting.ground_truth[name]
+            if not truth.uses_cdn and not truth.invalid_dns:
+                assert report.resolver_agreement
+
+
+class TestRendering:
+    def test_render_contains_key_facts(self, small_world, audited):
+        name, report = next(iter(audited.items()))
+        text = render_report(report)
+        assert name in text
+        assert "grade:" in text
+        assert "findings" in text
+
+    def test_render_fully_protected_domain(self, audited):
+        a_graded = [r for r in audited.values() if r.grade == "A"]
+        if not a_graded:
+            pytest.skip("no fully protected domain in this sample")
+        text = render_report(a_graded[0])
+        assert "fully protected" in text
+
+
+class TestDnssecIntegration:
+    def test_dnssec_status_included(self, small_world):
+        from repro.crypto import DeterministicRNG
+        from repro.web.dnssec_adoption import DnssecAdoptionModel, DnssecConfig
+
+        # A small dedicated deployment over the first domains only.
+        model = DnssecAdoptionModel(
+            DnssecConfig(base_adoption=0.5), DeterministicRNG(3)
+        )
+        deployment = model.build(small_world.ranking, small_world.namespace)
+        domain = small_world.ranking[0]
+        report = audit_domain(
+            small_world, domain.name, dnssec_deployment=deployment
+        )
+        assert report.dnssec_status in ("secure", "insecure", "bogus")
+        if report.dnssec_status == "insecure":
+            assert any("not DNSSEC-signed" in i for i in report.issues())

@@ -1,0 +1,180 @@
+"""Tests for the DNS substrate."""
+
+import pytest
+
+from repro.dns import (
+    Namespace,
+    PublicResolver,
+    RCode,
+    RecordType,
+    RecursiveResolver,
+    ResolutionError,
+    ResourceRecord,
+)
+from repro.dns.errors import DNSError
+from repro.dns.records import normalise_name
+from repro.dns.vantage import GOOGLE_DNS, HTTPARCHIVE_AGENT, make_resolvers
+from repro.net import Address
+
+
+class TestRecords:
+    def test_a_record(self):
+        record = ResourceRecord.a("Example.COM.", "192.0.2.1")
+        assert record.name == "example.com"
+        assert record.rtype is RecordType.A
+        assert str(record.address) == "192.0.2.1"
+
+    def test_aaaa_autodetected(self):
+        record = ResourceRecord.a("example.com", "2001:db8::1")
+        assert record.rtype is RecordType.AAAA
+
+    def test_cname_record(self):
+        record = ResourceRecord.cname("www.example.com", "Cdn.Example.NET.")
+        assert record.target == "cdn.example.net"
+        assert "CNAME" in str(record)
+
+    def test_family_mismatch_rejected(self):
+        with pytest.raises(DNSError):
+            ResourceRecord(
+                name="x.com", rtype=RecordType.A,
+                address=Address.parse("2001:db8::1"),
+            )
+
+    def test_cname_needs_target(self):
+        with pytest.raises(DNSError):
+            ResourceRecord(name="x.com", rtype=RecordType.CNAME)
+
+    def test_address_record_needs_address(self):
+        with pytest.raises(DNSError):
+            ResourceRecord(name="x.com", rtype=RecordType.A)
+
+    def test_normalise_name(self):
+        assert normalise_name("  WWW.Foo.COM. ") == "www.foo.com"
+        with pytest.raises(DNSError):
+            normalise_name(".")
+
+
+class TestNamespace:
+    def test_add_and_lookup(self):
+        ns = Namespace()
+        ns.add_address("a.com", "192.0.2.1")
+        records = ns.lookup("a.com", RecordType.A)
+        assert len(records) == 1
+        assert ns.exists("a.com")
+        assert not ns.exists("b.com")
+
+    def test_multiple_addresses(self):
+        ns = Namespace()
+        ns.add_address("a.com", "192.0.2.1")
+        ns.add_address("a.com", "192.0.2.2")
+        assert len(ns.lookup("a.com", RecordType.A)) == 2
+
+    def test_vantage_fallback(self):
+        ns = Namespace()
+        ns.add_address("cdn.com", "192.0.2.1")                      # global
+        ns.add_address("cdn.com", "198.51.100.1", vantage="us")     # specific
+        assert str(ns.lookup("cdn.com", RecordType.A, "us")[0].address) == (
+            "198.51.100.1"
+        )
+        assert str(ns.lookup("cdn.com", RecordType.A, "eu")[0].address) == (
+            "192.0.2.1"
+        )
+        assert str(ns.lookup("cdn.com", RecordType.A)[0].address) == "192.0.2.1"
+
+    def test_len_and_repr(self):
+        ns = Namespace()
+        ns.add_address("a.com", "192.0.2.1")
+        ns.add_cname("www.a.com", "a.com")
+        assert len(ns) == 2
+        assert "2 names" in repr(ns)
+
+
+class TestResolver:
+    @pytest.fixture()
+    def ns(self):
+        ns = Namespace()
+        ns.add_address("origin.com", "192.0.2.1")
+        ns.add_address("origin.com", "2001:db8::1")
+        ns.add_cname("www.origin.com", "origin.com")
+        # A CDN-style chain with two indirections.
+        ns.add_cname("www.shop.com", "shop.com.edge-sim.net")
+        ns.add_cname("shop.com.edge-sim.net", "a42.g.cdn-sim.net")
+        ns.add_address("a42.g.cdn-sim.net", "198.51.100.7")
+        return ns
+
+    def test_direct_resolution(self, ns):
+        answer = RecursiveResolver(ns).resolve("origin.com")
+        assert answer.ok()
+        assert answer.cname_count == 0
+        assert {str(a) for a in answer.addresses} == {"192.0.2.1", "2001:db8::1"}
+
+    def test_single_rtype(self, ns):
+        answer = RecursiveResolver(ns).resolve("origin.com", [RecordType.A])
+        assert [str(a) for a in answer.addresses] == ["192.0.2.1"]
+
+    def test_single_cname(self, ns):
+        answer = RecursiveResolver(ns).resolve("www.origin.com")
+        assert answer.cname_count == 1
+        assert answer.final_name == "origin.com"
+        assert answer.ok()
+
+    def test_cdn_chain(self, ns):
+        answer = RecursiveResolver(ns).resolve("www.shop.com")
+        assert answer.cname_count == 2
+        assert answer.cname_chain == [
+            "shop.com.edge-sim.net", "a42.g.cdn-sim.net",
+        ]
+        assert [str(a) for a in answer.addresses] == ["198.51.100.7"]
+
+    def test_nxdomain(self, ns):
+        answer = RecursiveResolver(ns).resolve("missing.com")
+        assert answer.rcode is RCode.NXDOMAIN
+        assert not answer.ok()
+
+    def test_name_without_addresses_is_noerror(self, ns):
+        ns.add_cname("alias.com", "empty.example")
+        ns.add_cname("empty.example", "reallyempty.example")
+        answer = RecursiveResolver(ns).resolve("alias.com")
+        assert answer.rcode is RCode.NOERROR  # name exists, no A data
+        assert not answer.ok()
+
+    def test_cname_loop_detected(self, ns):
+        ns.add_cname("x.com", "y.com")
+        ns.add_cname("y.com", "x.com")
+        with pytest.raises(ResolutionError):
+            RecursiveResolver(ns).resolve("x.com")
+
+    def test_chain_too_long(self):
+        ns = Namespace()
+        for i in range(20):
+            ns.add_cname(f"h{i}.com", f"h{i + 1}.com")
+        with pytest.raises(ResolutionError):
+            RecursiveResolver(ns).resolve("h0.com")
+
+    def test_vantage_dependent_resolution(self, ns):
+        ns.add_address("a42.g.cdn-sim.net", "203.0.113.9", vantage="us-east")
+        eu = RecursiveResolver(ns, vantage="berlin").resolve("www.shop.com")
+        us = RecursiveResolver(ns, vantage="us-east").resolve("www.shop.com")
+        assert [str(a) for a in eu.addresses] == ["198.51.100.7"]
+        assert [str(a) for a in us.addresses] == ["203.0.113.9"]
+
+
+class TestPublicResolvers:
+    def test_make_resolvers(self):
+        ns = Namespace()
+        ns.add_address("a.com", "192.0.2.1")
+        resolvers = make_resolvers(ns)
+        assert [r.name for r in resolvers] == [
+            "GoogleDNS", "OpenDNS", "DNSLookingGlass-us01",
+        ]
+        for resolver in resolvers:
+            assert resolver.resolve("a.com").ok()
+
+    def test_httparchive_vantage_differs(self):
+        ns = Namespace()
+        ns.add_address("cdn.com", "192.0.2.1")
+        ns.add_address("cdn.com", "198.51.100.1", vantage="redwood-city")
+        google = PublicResolver(ns, GOOGLE_DNS)
+        archive = PublicResolver(ns, HTTPARCHIVE_AGENT)
+        assert str(google.resolve("cdn.com").addresses[0]) == "192.0.2.1"
+        assert str(archive.resolve("cdn.com").addresses[0]) == "198.51.100.1"

@@ -1,0 +1,165 @@
+"""Unit tests for repro.net.trie — the radix trie."""
+
+import pytest
+
+from repro.net import Address, Prefix, PrefixTrie
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+def A(text):
+    return Address.parse(text)
+
+
+class TestInsertLookup:
+    def test_exact_lookup(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "a")
+        assert trie.lookup_exact(P("10.0.0.0/8")) == ["a"]
+        assert trie.lookup_exact(P("10.0.0.0/9")) == []
+        assert trie.lookup_exact(P("11.0.0.0/8")) == []
+
+    def test_duplicate_values_per_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "a")
+        trie.insert(P("10.0.0.0/8"), "b")
+        assert sorted(trie.lookup_exact(P("10.0.0.0/8"))) == ["a", "b"]
+        assert len(trie) == 2
+
+    def test_contains(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), 1)
+        assert P("10.0.0.0/8") in trie
+        assert P("10.0.0.0/16") not in trie
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(P("0.0.0.0/0"), "default")
+        assert trie.covering(A("203.0.113.1")) == [(P("0.0.0.0/0"), "default")]
+
+
+class TestCovering:
+    def test_covering_order_shortest_first(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "eight")
+        trie.insert(P("10.1.0.0/16"), "sixteen")
+        trie.insert(P("10.1.2.0/24"), "twentyfour")
+        result = trie.covering(A("10.1.2.3"))
+        assert [v for _p, v in result] == ["eight", "sixteen", "twentyfour"]
+        assert [p.length for p, _v in result] == [8, 16, 24]
+
+    def test_covering_a_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "eight")
+        trie.insert(P("10.1.0.0/16"), "sixteen")
+        trie.insert(P("10.1.2.0/24"), "twentyfour")
+        # Prefixes longer than the query's own length do not cover it.
+        result = trie.covering(P("10.1.0.0/16"))
+        assert [v for _p, v in result] == ["eight", "sixteen"]
+
+    def test_covering_misses_siblings(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.1.0.0/16"), "x")
+        assert trie.covering(A("10.2.0.0")) == []
+
+    def test_families_do_not_mix(self):
+        trie = PrefixTrie()
+        trie.insert(P("0.0.0.0/0"), "v4")
+        trie.insert(P("::/0"), "v6")
+        assert trie.covering(A("::1")) == [(P("::/0"), "v6")]
+        assert trie.covering(A("1.2.3.4")) == [(P("0.0.0.0/0"), "v4")]
+
+
+class TestLongestMatch:
+    def test_longest_match(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "eight")
+        trie.insert(P("10.1.0.0/16"), "sixteen")
+        prefix, values = trie.lookup_longest(A("10.1.200.1"))
+        assert prefix == P("10.1.0.0/16")
+        assert values == ["sixteen"]
+
+    def test_longest_match_collects_all_values_at_winner(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.1.0.0/16"), "a")
+        trie.insert(P("10.1.0.0/16"), "b")
+        trie.insert(P("10.0.0.0/8"), "c")
+        _prefix, values = trie.lookup_longest(A("10.1.0.1"))
+        assert sorted(values) == ["a", "b"]
+
+    def test_no_match_returns_none(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "x")
+        assert trie.lookup_longest(A("11.0.0.1")) is None
+
+
+class TestRemove:
+    def test_remove_existing(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "a")
+        assert trie.remove(P("10.0.0.0/8"), "a")
+        assert trie.lookup_exact(P("10.0.0.0/8")) == []
+        assert len(trie) == 0
+
+    def test_remove_one_of_two(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "a")
+        trie.insert(P("10.0.0.0/8"), "b")
+        assert trie.remove(P("10.0.0.0/8"), "a")
+        assert trie.lookup_exact(P("10.0.0.0/8")) == ["b"]
+
+    def test_remove_missing(self):
+        trie = PrefixTrie()
+        assert not trie.remove(P("10.0.0.0/8"), "a")
+        trie.insert(P("10.0.0.0/8"), "a")
+        assert not trie.remove(P("10.0.0.0/8"), "b")
+        assert not trie.remove(P("10.0.0.0/16"), "a")
+
+    def test_remove_prunes_but_keeps_ancestors(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "short")
+        trie.insert(P("10.1.2.0/24"), "long")
+        assert trie.remove(P("10.1.2.0/24"), "long")
+        assert trie.covering(A("10.1.2.3")) == [(P("10.0.0.0/8"), "short")]
+
+
+class TestIteration:
+    def test_items_roundtrip(self):
+        trie = PrefixTrie()
+        entries = [
+            (P("10.0.0.0/8"), 1),
+            (P("10.1.0.0/16"), 2),
+            (P("192.0.2.0/24"), 3),
+            (P("2001:db8::/32"), 4),
+        ]
+        for prefix, value in entries:
+            trie.insert(prefix, value)
+        assert sorted(trie.items()) == sorted(entries)
+
+    def test_prefixes_distinct(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), 1)
+        trie.insert(P("10.0.0.0/8"), 2)
+        assert list(trie.prefixes()) == [P("10.0.0.0/8")]
+
+    def test_repr(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), 1)
+        assert "1 entries" in repr(trie)
+
+
+class TestScale:
+    def test_many_prefixes(self):
+        trie = PrefixTrie()
+        for i in range(512):
+            trie.insert(Prefix(4, (10 << 24) | (i << 13), 19), i)
+        assert len(trie) == 512
+        target = A("10.0.33.7")
+        prefix, values = trie.lookup_longest(target)
+        assert prefix.length == 19
+        # The /19 containing the address is index (value - base) >> 13.
+        expected = (target.value - (10 << 24)) >> 13
+        assert values == [expected]
+        assert prefix.contains(target)

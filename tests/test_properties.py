@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import bin_means
+from repro.bgp import ASPath
+from repro.crypto import DeterministicRNG
+from repro.net import ASN, Address, Prefix, PrefixTrie
+from repro.net.addr import IPV4, IPV6
+from repro.rpki import VRP, OriginValidation, ResourceSet, ValidatedPayloads
+from repro.rpki.resources import ASNRange
+
+# -- strategies ---------------------------------------------------------------
+
+ipv4_values = st.integers(min_value=0, max_value=(1 << 32) - 1)
+ipv6_values = st.integers(min_value=0, max_value=(1 << 128) - 1)
+asns = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+@st.composite
+def ipv4_prefixes(draw):
+    length = draw(st.integers(min_value=0, max_value=32))
+    value = draw(ipv4_values)
+    return Prefix.from_address(Address(IPV4, value), length)
+
+
+@st.composite
+def ipv6_prefixes(draw):
+    length = draw(st.integers(min_value=0, max_value=128))
+    value = draw(ipv6_values)
+    return Prefix.from_address(Address(IPV6, value), length)
+
+
+prefixes = st.one_of(ipv4_prefixes(), ipv6_prefixes())
+
+
+@st.composite
+def vrps(draw):
+    prefix = draw(ipv4_prefixes())
+    max_length = draw(st.integers(min_value=prefix.length, max_value=32))
+    return VRP(prefix, max_length, ASN(draw(asns)))
+
+
+# -- addresses and prefixes ----------------------------------------------------
+
+
+@given(ipv4_values)
+def test_ipv4_text_roundtrip(value):
+    address = Address(IPV4, value)
+    assert Address.parse(str(address)) == address
+
+
+@given(ipv6_values)
+def test_ipv6_text_roundtrip(value):
+    address = Address(IPV6, value)
+    assert Address.parse(str(address)) == address
+
+
+@given(prefixes)
+def test_prefix_text_roundtrip(prefix):
+    assert Prefix.parse(str(prefix)) == prefix
+
+
+@given(prefixes)
+def test_prefix_contains_its_network_and_broadcast(prefix):
+    assert prefix.contains(prefix.network)
+    assert prefix.contains(Address(prefix.family, prefix.broadcast_value))
+    assert prefix.covers(prefix)
+
+
+@given(prefixes, st.data())
+def test_supernet_always_covers(prefix, data):
+    length = data.draw(st.integers(min_value=0, max_value=prefix.length))
+    supernet = prefix.supernet(length)
+    assert supernet.covers(prefix)
+    assert supernet.length == length
+
+
+@given(ipv4_prefixes())
+def test_subnets_partition_parent(prefix):
+    if prefix.length >= prefix.bits:
+        return
+    low, high = prefix.subnets()
+    assert prefix.covers(low) and prefix.covers(high)
+    assert low != high
+    assert low.supernet(prefix.length) == prefix
+    assert high.supernet(prefix.length) == prefix
+
+
+@given(st.lists(ipv4_prefixes(), max_size=30), ipv4_values)
+def test_trie_covering_matches_bruteforce(entries, value):
+    trie = PrefixTrie()
+    for index, prefix in enumerate(entries):
+        trie.insert(prefix, index)
+    address = Address(IPV4, value)
+    expected = sorted(
+        (prefix, index)
+        for index, prefix in enumerate(entries)
+        if prefix.contains(address)
+    )
+    assert sorted(trie.covering(address)) == expected
+
+
+@given(st.lists(ipv4_prefixes(), min_size=1, max_size=30), ipv4_values)
+def test_trie_longest_match_is_longest_covering(entries, value):
+    trie = PrefixTrie()
+    for index, prefix in enumerate(entries):
+        trie.insert(prefix, index)
+    address = Address(IPV4, value)
+    covering = trie.covering(address)
+    longest = trie.lookup_longest(address)
+    if not covering:
+        assert longest is None
+    else:
+        best_prefix, _values = longest
+        assert best_prefix == max(covering, key=lambda pv: pv[0].length)[0]
+
+
+@given(st.lists(ipv4_prefixes(), max_size=20))
+def test_trie_insert_remove_roundtrip(entries):
+    trie = PrefixTrie()
+    for index, prefix in enumerate(entries):
+        trie.insert(prefix, index)
+    for index, prefix in enumerate(entries):
+        assert trie.remove(prefix, index)
+    assert len(trie) == 0
+    for prefix in entries:
+        assert trie.lookup_exact(prefix) == []
+
+
+# -- AS paths -------------------------------------------------------------------
+
+
+@given(st.lists(asns, min_size=1, max_size=10))
+def test_aspath_parse_roundtrip(path_asns):
+    path = ASPath.of(*path_asns)
+    assert ASPath.parse(str(path)) == path
+
+
+@given(st.lists(asns, min_size=1, max_size=10), asns)
+def test_aspath_prepend_invariants(path_asns, new_asn):
+    path = ASPath.of(*path_asns)
+    extended = path.prepend(new_asn)
+    assert len(extended) == len(path) + 1
+    assert extended.origin() == path.origin()
+    assert extended.contains(new_asn)
+    assert list(extended)[0] == new_asn
+
+
+# -- RPKI -----------------------------------------------------------------------
+
+
+@given(st.lists(vrps(), max_size=20), ipv4_prefixes(), asns)
+def test_origin_validation_matches_bruteforce(vrp_list, announced, origin):
+    payloads = ValidatedPayloads(vrp_list)
+    state = payloads.validate_origin(announced, origin)
+    covering = [v for v in vrp_list if v.prefix.covers(announced)]
+    if not covering:
+        assert state is OriginValidation.NOT_FOUND
+    elif any(
+        v.asn == origin and announced.length <= v.max_length for v in covering
+    ):
+        assert state is OriginValidation.VALID
+    else:
+        assert state is OriginValidation.INVALID
+
+
+@given(st.lists(ipv4_prefixes(), max_size=10), st.lists(asns, max_size=5))
+def test_resource_set_covers_itself_and_subsets(prefix_list, asn_list):
+    full = ResourceSet(
+        prefix_list, [ASNRange.single(a) for a in asn_list]
+    )
+    assert full.covers(full)
+    subset = ResourceSet(
+        prefix_list[: len(prefix_list) // 2],
+        [ASNRange.single(a) for a in asn_list[: len(asn_list) // 2]],
+    )
+    assert full.covers(subset)
+    assert ResourceSet.all_resources().covers(full)
+
+
+@given(st.lists(ipv4_prefixes(), max_size=8))
+def test_resource_set_dict_roundtrip(prefix_list):
+    rs = ResourceSet(prefix_list)
+    assert ResourceSet.from_dict(rs.to_dict()) == rs
+
+
+# -- deterministic RNG -------------------------------------------------------------
+
+
+@given(st.integers(), st.integers(min_value=0, max_value=1000), st.integers(min_value=0, max_value=1000))
+def test_rng_randint_in_bounds(seed, a, b):
+    low, high = min(a, b), max(a, b)
+    rng = DeterministicRNG(seed)
+    for _ in range(5):
+        assert low <= rng.randint(low, high) <= high
+
+
+@given(st.integers(), st.integers(min_value=1, max_value=50))
+def test_rng_sample_distinct(seed, count):
+    rng = DeterministicRNG(seed)
+    picked = rng.sample(range(count), count)
+    assert sorted(picked) == list(range(count))
+
+
+# -- analysis -----------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.one_of(st.none(), st.floats(min_value=-100, max_value=100)),
+        max_size=100,
+    ),
+    st.integers(min_value=1, max_value=20),
+)
+def test_bin_means_weighted_mean_matches_global_mean(values, bin_size):
+    series = bin_means(values, bin_size)
+    present = [v for v in values if v is not None]
+    assert sum(series.counts) == len(present)
+    if present:
+        assert abs(series.mean() - sum(present) / len(present)) < 1e-9

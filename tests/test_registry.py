@@ -1,0 +1,157 @@
+"""Tests for the IRR/RPSL registry substrate."""
+
+import pytest
+
+from repro.core.cdn_asns import spot_cdn_ases
+from repro.net import ASN
+from repro.registry import (
+    AutNum,
+    RegistryDatabase,
+    RPSLError,
+    registry_for_world,
+)
+from repro.registry.generate import spot_cdn_ases_in_registry
+
+
+def autnum(asn=20940, name="AKAMAI-ASN1", descr="Akamai International B.V.",
+           org="ORG-AT1-RIPE", source="RIPE"):
+    return AutNum(asn=ASN(asn), as_name=name, descr=descr, org=org,
+                  source=source)
+
+
+class TestAutNum:
+    def test_rpsl_roundtrip(self):
+        original = autnum()
+        parsed = AutNum.from_rpsl(original.to_rpsl())
+        assert parsed == original
+
+    def test_rpsl_rendering(self):
+        text = autnum().to_rpsl()
+        assert "aut-num:    AS20940" in text
+        assert "as-name:    AKAMAI-ASN1" in text
+        assert text.endswith("source:     RIPE\n")
+
+    def test_minimal_object(self):
+        obj = AutNum(asn=ASN(1), as_name="X-1")
+        parsed = AutNum.from_rpsl(obj.to_rpsl())
+        assert parsed.descr == ""
+        assert parsed.org == ""
+
+    def test_multiline_descr_joined(self):
+        text = (
+            "aut-num: AS5\n"
+            "as-name: FIVE\n"
+            "descr: line one\n"
+            "descr: line two\n"
+            "source: ARIN\n"
+        )
+        parsed = AutNum.from_rpsl(text)
+        assert parsed.descr == "line one line two"
+
+    def test_comments_ignored(self):
+        text = "% remark\naut-num: AS5\n# note\nas-name: FIVE\nsource: ARIN\n"
+        assert AutNum.from_rpsl(text).asn == 5
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "as-name: X\nsource: RIPE\n",              # no aut-num
+            "aut-num: AS5\nsource: RIPE\n",            # no as-name
+            "aut-num: AS5\nas-name: X\n",              # no source
+            "aut-num: ASfoo\nas-name: X\nsource: R\n", # bad ASN
+            "garbage line without colon",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(RPSLError):
+            AutNum.from_rpsl(bad)
+
+    def test_as_name_validation(self):
+        with pytest.raises(RPSLError):
+            AutNum(asn=ASN(1), as_name="")
+        with pytest.raises(RPSLError):
+            AutNum(asn=ASN(1), as_name="TWO WORDS")
+
+    def test_searchable_text_uppercase(self):
+        obj = autnum(descr="akamai technologies")
+        assert "AKAMAI TECHNOLOGIES" in obj.searchable_text()
+
+
+class TestDatabase:
+    def test_add_lookup(self):
+        db = RegistryDatabase([autnum()])
+        assert db.lookup(20940).as_name == "AKAMAI-ASN1"
+        assert db.lookup(1) is None
+        assert 20940 in db
+        assert len(db) == 1
+
+    def test_duplicate_rejected(self):
+        db = RegistryDatabase([autnum()])
+        with pytest.raises(RPSLError):
+            db.add(autnum())
+
+    def test_keyword_search(self):
+        db = RegistryDatabase(
+            [
+                autnum(1, "AKAMAI-1"),
+                autnum(2, "LIMELIGHT-1", descr="Limelight Networks"),
+                autnum(3, "HOSTER-9", descr="Plain hosting"),
+            ]
+        )
+        assert [int(o.asn) for o in db.search_keyword("akamai")] == [1]
+        assert [int(o.asn) for o in db.search_keyword("LIMELIGHT")] == [2]
+        assert db.search_keyword("cloudflare") == []
+
+    def test_by_source_and_iter(self):
+        db = RegistryDatabase(
+            [autnum(1, "A-1", source="RIPE"), autnum(2, "B-1", source="ARIN")]
+        )
+        assert [int(o.asn) for o in db.by_source("ARIN")] == [2]
+        assert [int(o.asn) for o in db] == [1, 2]
+
+    def test_flat_file_roundtrip(self, tmp_path):
+        db = RegistryDatabase(
+            [autnum(i, f"NET-{i}", descr=f"Network {i}") for i in (1, 2, 3)]
+        )
+        path = tmp_path / "autnum.db"
+        assert db.to_file(path) == 3
+        loaded = RegistryDatabase.from_file(path)
+        assert len(loaded) == 3
+        assert loaded.lookup(2) == db.lookup(2)
+
+
+class TestWorldRegistry:
+    def test_one_object_per_as(self, small_world):
+        db = registry_for_world(small_world)
+        assert len(db) == len(small_world.topology)
+        for node in small_world.topology.ases():
+            obj = db.lookup(node.asn)
+            assert obj is not None
+            assert obj.as_name == node.name
+
+    def test_sources_are_rirs(self, small_world):
+        db = registry_for_world(small_world)
+        sources = {obj.source for obj in db}
+        assert sources <= {"AFRINIC", "APNIC", "ARIN", "LACNIC", "RIPE"}
+
+    def test_registry_spotting_matches_tuple_spotting(self, small_world):
+        db = registry_for_world(small_world)
+        via_registry = spot_cdn_ases_in_registry(db)
+        via_tuples = spot_cdn_ases(small_world.as_assignment_list())
+        for operator in via_tuples:
+            assert sorted(via_registry[operator]) == sorted(
+                via_tuples[operator]
+            ), operator
+        total = sum(len(v) for v in via_registry.values())
+        assert total == 199
+
+    def test_registry_file_roundtrip_preserves_spotting(
+        self, small_world, tmp_path
+    ):
+        db = registry_for_world(small_world)
+        path = tmp_path / "assignments.db"
+        db.to_file(path)
+        loaded = RegistryDatabase.from_file(path)
+        assert sum(
+            len(v) for v in spot_cdn_ases_in_registry(loaded).values()
+        ) == 199

@@ -1,0 +1,145 @@
+"""Unit tests for RFC 6811 origin validation (repro.rpki.vrp)."""
+
+import pytest
+
+from repro.net import ASN, Prefix
+from repro.rpki import VRP, OriginValidation, ValidatedPayloads
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+def vrp(prefix, max_length, asn, ta="RIPE"):
+    return VRP(P(prefix), max_length, ASN(asn), ta)
+
+
+@pytest.fixture()
+def payloads():
+    return ValidatedPayloads(
+        [
+            vrp("10.0.0.0/16", 24, 64500),
+            vrp("192.0.2.0/24", 24, 64501),
+            vrp("2001:db8::/32", 48, 64502),
+        ]
+    )
+
+
+class TestOriginValidation:
+    def test_not_found(self, payloads):
+        assert (
+            payloads.validate_origin(P("203.0.113.0/24"), 64500)
+            is OriginValidation.NOT_FOUND
+        )
+
+    def test_valid_exact(self, payloads):
+        assert (
+            payloads.validate_origin(P("192.0.2.0/24"), 64501)
+            is OriginValidation.VALID
+        )
+
+    def test_valid_more_specific_within_maxlength(self, payloads):
+        assert (
+            payloads.validate_origin(P("10.0.1.0/24"), 64500)
+            is OriginValidation.VALID
+        )
+
+    def test_invalid_beyond_maxlength(self, payloads):
+        # /25 exceeds maxLength 24 even with the right origin.
+        assert (
+            payloads.validate_origin(P("10.0.1.0/25"), 64500)
+            is OriginValidation.INVALID
+        )
+
+    def test_invalid_wrong_origin(self, payloads):
+        assert (
+            payloads.validate_origin(P("192.0.2.0/24"), 666)
+            is OriginValidation.INVALID
+        )
+
+    def test_less_specific_than_vrp_is_not_covered(self, payloads):
+        # A /15 is *less* specific than the 10.0/16 VRP: nothing covers it.
+        assert (
+            payloads.validate_origin(P("10.0.0.0/15"), 64500)
+            is OriginValidation.NOT_FOUND
+        )
+
+    def test_any_matching_vrp_wins(self):
+        payloads = ValidatedPayloads(
+            [vrp("10.0.0.0/16", 16, 1), vrp("10.0.0.0/16", 16, 2)]
+        )
+        assert payloads.validate_origin(P("10.0.0.0/16"), 1) is OriginValidation.VALID
+        assert payloads.validate_origin(P("10.0.0.0/16"), 2) is OriginValidation.VALID
+        assert (
+            payloads.validate_origin(P("10.0.0.0/16"), 3) is OriginValidation.INVALID
+        )
+
+    def test_covering_vrp_at_different_length(self):
+        payloads = ValidatedPayloads([vrp("10.0.0.0/8", 8, 1)])
+        # The /16 announcement is covered (by the /8 VRP) but too long.
+        assert (
+            payloads.validate_origin(P("10.5.0.0/16"), 1) is OriginValidation.INVALID
+        )
+
+    def test_ipv6(self, payloads):
+        assert (
+            payloads.validate_origin(P("2001:db8:1::/48"), 64502)
+            is OriginValidation.VALID
+        )
+        assert (
+            payloads.validate_origin(P("2001:db8::/64"), 64502)
+            is OriginValidation.INVALID
+        )
+
+    def test_accepts_int_or_asn_origin(self, payloads):
+        assert (
+            payloads.validate_origin(P("192.0.2.0/24"), ASN(64501))
+            is OriginValidation.VALID
+        )
+
+
+class TestContainer:
+    def test_covered(self, payloads):
+        assert payloads.covered(P("10.0.1.0/24"))
+        assert not payloads.covered(P("203.0.113.0/24"))
+
+    def test_covering_vrps(self):
+        payloads = ValidatedPayloads(
+            [vrp("10.0.0.0/8", 8, 1), vrp("10.0.0.0/16", 16, 2)]
+        )
+        covering = payloads.covering_vrps(P("10.0.0.0/24"))
+        assert len(covering) == 2
+
+    def test_len_iter_contains(self, payloads):
+        assert len(payloads) == 3
+        assert vrp("10.0.0.0/16", 24, 64500) in payloads
+        assert vrp("10.0.0.0/16", 24, 99999) not in payloads
+        assert len(list(payloads)) == 3
+
+    def test_asns(self, payloads):
+        assert payloads.asns() == {64500, 64501, 64502}
+
+    def test_add_after_construction(self):
+        payloads = ValidatedPayloads()
+        assert len(payloads) == 0
+        payloads.add(vrp("10.0.0.0/8", 8, 1))
+        assert payloads.covered(P("10.1.0.0/16"))
+
+
+class TestVRP:
+    def test_invalid_maxlength(self):
+        with pytest.raises(ValueError):
+            VRP(P("10.0.0.0/16"), 8, ASN(1))
+        with pytest.raises(ValueError):
+            VRP(P("10.0.0.0/16"), 33, ASN(1))
+
+    def test_str_and_matches(self):
+        entry = vrp("10.0.0.0/16", 24, 64500)
+        assert "10.0.0.0/16-24" in str(entry)
+        assert entry.matches(P("10.0.0.0/20"), 64500)
+        assert not entry.matches(P("10.0.0.0/20"), 1)
+        assert not entry.matches(P("11.0.0.0/20"), 64500)
+
+    def test_enum_str(self):
+        assert str(OriginValidation.VALID) == "valid"
+        assert str(OriginValidation.NOT_FOUND) == "not_found"

@@ -1,0 +1,216 @@
+"""Integration tests for RTR cache/client sessions."""
+
+import pytest
+
+from repro.net import ASN, Prefix
+from repro.rpki.rtr import RTRCache, RTRClient, TransportPair
+from repro.rpki.rtr.client import ClientState
+from repro.rpki.vrp import VRP, OriginValidation
+
+
+def vrp(prefix, max_length, asn):
+    return VRP(Prefix.parse(prefix), max_length, ASN(asn), "test-ta")
+
+
+@pytest.fixture()
+def session():
+    pair = TransportPair()
+    cache = RTRCache(session_id=9)
+    client = RTRClient(pair.router_side)
+    return pair, cache, client
+
+
+def pump(pair, cache, client, rounds=4):
+    """Alternate service until the byte pipes drain."""
+    for _ in range(rounds):
+        cache.serve(pair.cache_side)
+        client.poll()
+
+
+class TestFullSync:
+    def test_initial_snapshot(self, session):
+        pair, cache, client = session
+        cache.load([vrp("10.0.0.0/16", 24, 64500), vrp("2001:db8::/32", 48, 1)])
+        client.start()
+        pump(pair, cache, client)
+        assert client.state is ClientState.SYNCHRONISED
+        assert client.serial == cache.serial == 1
+        assert client.session_id == 9
+        assert len(client) == 2
+
+    def test_payloads_usable_for_origin_validation(self, session):
+        pair, cache, client = session
+        cache.load([vrp("10.0.0.0/16", 24, 64500)])
+        client.start()
+        pump(pair, cache, client)
+        payloads = client.payloads()
+        assert payloads.validate_origin(
+            Prefix.parse("10.0.1.0/24"), 64500
+        ) is OriginValidation.VALID
+        assert payloads.validate_origin(
+            Prefix.parse("10.0.1.0/24"), 666
+        ) is OriginValidation.INVALID
+
+    def test_empty_cache_sync(self, session):
+        pair, cache, client = session
+        cache.load([])
+        client.start()
+        pump(pair, cache, client)
+        assert client.state is ClientState.SYNCHRONISED
+        assert len(client) == 0
+
+    def test_refresh_interval_propagates(self, session):
+        pair, cache, client = session
+        cache._refresh_interval = 1234
+        cache.load([vrp("10.0.0.0/16", 16, 1)])
+        client.start()
+        pump(pair, cache, client)
+        assert client.refresh_interval == 1234
+
+
+class TestIncrementalSync:
+    def test_diff_applies_announce_and_withdraw(self, session):
+        pair, cache, client = session
+        cache.load([vrp("10.0.0.0/16", 24, 64500), vrp("11.0.0.0/16", 16, 2)])
+        client.start()
+        pump(pair, cache, client)
+        assert len(client) == 2
+
+        cache.load([vrp("10.0.0.0/16", 24, 64500), vrp("12.0.0.0/16", 16, 3)])
+        cache.notify(pair.cache_side)  # ... as seen by the router
+        # The notify PDU must reach the router side:
+        client.poll()           # sees Serial Notify, sends Serial Query
+        pump(pair, cache, client)
+        assert client.state is ClientState.SYNCHRONISED
+        assert client.serial == 2
+        prefixes = {str(v.prefix) for v in client.vrps()}
+        assert prefixes == {"10.0.0.0/16", "12.0.0.0/16"}
+
+    def test_notify_while_synced_triggers_refresh(self, session):
+        pair, cache, client = session
+        cache.load([vrp("10.0.0.0/16", 16, 1)])
+        client.start()
+        pump(pair, cache, client)
+        cache.load([])  # withdraw everything
+        cache.notify(pair.cache_side)
+        client.poll()
+        pump(pair, cache, client)
+        assert len(client) == 0
+        assert client.serial == 2
+
+    def test_explicit_refresh_without_changes(self, session):
+        pair, cache, client = session
+        cache.load([vrp("10.0.0.0/16", 16, 1)])
+        client.start()
+        pump(pair, cache, client)
+        client.refresh()
+        pump(pair, cache, client)
+        assert client.state is ClientState.SYNCHRONISED
+        assert len(client) == 1
+
+
+class TestCacheReset:
+    def test_stale_serial_forces_full_resync(self, session):
+        pair, cache, client = session
+        cache = RTRCache(session_id=9, history_limit=1)
+        cache.load([vrp("10.0.0.0/16", 16, 1)])
+        client.start()
+        pump(pair, cache, client)
+        # Age the client's serial out of the cache's diff history.
+        cache.load([vrp("11.0.0.0/16", 16, 2)])
+        cache.load([vrp("12.0.0.0/16", 16, 3)])
+        client.refresh()
+        pump(pair, cache, client, rounds=6)
+        assert client.state is ClientState.SYNCHRONISED
+        assert client.serial == cache.serial
+        assert {str(v.prefix) for v in client.vrps()} == {"12.0.0.0/16"}
+
+    def test_wrong_session_id_gets_cache_reset(self, session):
+        pair, cache, client = session
+        cache.load([vrp("10.0.0.0/16", 16, 1)])
+        client.start()
+        pump(pair, cache, client)
+        client.session_id = 999  # simulate a cache restart mismatch
+        client.refresh()
+        pump(pair, cache, client, rounds=6)
+        # Cache Reset clears the stale session and resyncs fully...
+        assert client.state is ClientState.SYNCHRONISED
+        assert client.session_id == 9
+        assert len(client) == 1
+
+
+class TestErrors:
+    def test_unknown_pdu_type_to_cache(self, session):
+        pair, cache, client = session
+        from repro.rpki.rtr.pdus import ResetQueryPDU
+
+        data = bytearray(ResetQueryPDU().encode())
+        data[1] = 99  # complete frame, unknown PDU type
+        pair.router_side.send(bytes(data))
+        cache.serve(pair.cache_side)
+        client.poll()
+        assert client.state is ClientState.ERROR
+        assert client.last_error is not None
+
+    def test_incomplete_garbage_is_buffered_not_fatal(self, session):
+        pair, cache, client = session
+        # Header claims a huge length: the cache keeps buffering and
+        # stays silent rather than erroring on an incomplete frame.
+        pair.router_side.send(b"\x01\x02garb\xff\xff\xff\xff")
+        cache.serve(pair.cache_side)
+        client.poll()
+        assert client.state is ClientState.DISCONNECTED
+
+    def test_withdraw_unknown_record_is_error(self, session):
+        pair, cache, client = session
+        from repro.rpki.rtr.pdus import (
+            FLAG_WITHDRAW,
+            CacheResponsePDU,
+            EndOfDataPDU,
+            prefix_pdu,
+        )
+
+        # Hand-craft a bogus diff withdrawing a record the client lacks.
+        bogus = (
+            CacheResponsePDU(9).encode()
+            + prefix_pdu(FLAG_WITHDRAW, vrp("10.0.0.0/16", 16, 1)).encode()
+            + EndOfDataPDU(9, 1).encode()
+        )
+        pair.cache_side.send(bogus)
+        client.poll()
+        assert client.state is ClientState.ERROR
+
+    def test_prefix_pdu_outside_response_is_error(self, session):
+        pair, cache, client = session
+        from repro.rpki.rtr.pdus import FLAG_ANNOUNCE, prefix_pdu
+
+        pair.cache_side.send(
+            prefix_pdu(FLAG_ANNOUNCE, vrp("10.0.0.0/16", 16, 1)).encode()
+        )
+        client.poll()
+        assert client.state is ClientState.ERROR
+
+
+class TestCacheHousekeeping:
+    def test_load_returns_diff_counts(self):
+        cache = RTRCache()
+        announced, withdrawn = cache.load(
+            [vrp("10.0.0.0/16", 16, 1), vrp("11.0.0.0/16", 16, 2)]
+        )
+        assert (announced, withdrawn) == (2, 0)
+        announced, withdrawn = cache.load([vrp("10.0.0.0/16", 16, 1)])
+        assert (announced, withdrawn) == (0, 1)
+
+    def test_history_pruning(self):
+        cache = RTRCache(history_limit=2)
+        for index in range(5):
+            cache.load([vrp(f"10.{index}.0.0/16", 16, 1)])
+        assert cache.serial == 5
+        assert not cache.can_diff_from(1)
+        assert cache.can_diff_from(4)
+        assert cache.can_diff_from(5)
+
+    def test_repr(self):
+        cache = RTRCache()
+        cache.load([vrp("10.0.0.0/16", 16, 1)])
+        assert "1 VRPs" in repr(cache)

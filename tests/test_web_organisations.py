@@ -1,0 +1,83 @@
+"""Tests for organisations and address allocation."""
+
+import pytest
+
+from repro.net import ASN, Prefix, is_special_purpose
+from repro.web.organisations import (
+    AddressAllocator,
+    Organisation,
+    OrgKind,
+    RIR_POOLS,
+    RIR_V6_POOLS,
+)
+
+
+class TestOrganisation:
+    def test_add_prefix_requires_owned_asn(self):
+        org = Organisation(name="X", kind=OrgKind.HOSTER, rir="RIPE")
+        org.asns.append(ASN(64500))
+        org.add_prefix(Prefix.parse("10.0.0.0/20"), ASN(64500))
+        with pytest.raises(ValueError):
+            org.add_prefix(Prefix.parse("10.0.16.0/20"), ASN(999))
+
+    def test_prefix_list_sorted(self):
+        org = Organisation(name="X", kind=OrgKind.HOSTER, rir="RIPE")
+        org.asns.append(ASN(1))
+        org.add_prefix(Prefix.parse("11.0.0.0/20"), ASN(1))
+        org.add_prefix(Prefix.parse("10.0.0.0/20"), ASN(1))
+        assert org.prefix_list() == [
+            Prefix.parse("10.0.0.0/20"), Prefix.parse("11.0.0.0/20"),
+        ]
+
+
+class TestAllocator:
+    def test_allocations_disjoint(self):
+        allocator = AddressAllocator()
+        prefixes = [allocator.allocate("RIPE", 20) for _ in range(50)]
+        prefixes += [allocator.allocate("RIPE", 24) for _ in range(20)]
+        prefixes += [allocator.allocate("RIPE", 18) for _ in range(10)]
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1:]:
+                assert not a.covers(b) and not b.covers(a), f"{a} overlaps {b}"
+
+    def test_allocations_inside_rir_pool(self):
+        allocator = AddressAllocator()
+        blocks = dict(RIR_POOLS)["APNIC"]
+        for _ in range(30):
+            prefix = allocator.allocate("APNIC", 20)
+            assert (prefix.value >> 24) in blocks
+
+    def test_rirs_distinct_space(self):
+        allocator = AddressAllocator()
+        ripe = allocator.allocate("RIPE", 16)
+        arin = allocator.allocate("ARIN", 16)
+        assert not ripe.covers(arin) and not arin.covers(ripe)
+
+    def test_no_special_purpose_space(self):
+        allocator = AddressAllocator()
+        for rir in allocator.rirs():
+            for _ in range(5):
+                assert not is_special_purpose(allocator.allocate(rir, 20))
+
+    def test_length_bounds(self):
+        allocator = AddressAllocator()
+        with pytest.raises(ValueError):
+            allocator.allocate("RIPE", 8)
+        with pytest.raises(ValueError):
+            allocator.allocate("RIPE", 25)
+
+    def test_v6_allocations(self):
+        allocator = AddressAllocator()
+        a = allocator.allocate_v6("RIPE")
+        b = allocator.allocate_v6("RIPE")
+        pool = Prefix.parse(RIR_V6_POOLS["RIPE"])
+        assert a != b
+        assert a.length == b.length == 32
+        assert pool.covers(a) and pool.covers(b)
+        assert not a.covers(b)
+
+    def test_five_rirs(self):
+        allocator = AddressAllocator()
+        assert sorted(allocator.rirs()) == [
+            "AFRINIC", "APNIC", "ARIN", "LACNIC", "RIPE",
+        ]

@@ -1,0 +1,204 @@
+"""Tests for the web PKI substrate and the BGP-breaks-TLS attack."""
+
+import pytest
+
+from repro.bgp import Announcement, ASTopology
+from repro.crypto import DeterministicRNG, generate_keypair
+from repro.dns import Namespace, PublicResolver
+from repro.dns.vantage import ResolverSpec
+from repro.net import ASN, Address, Prefix
+from repro.rpki import VRP, ValidatedPayloads
+from repro.webpki import (
+    BGPCertificateAttack,
+    DomainControlValidator,
+    TLSCertificate,
+    ValidationOutcome,
+    WebCA,
+)
+from repro.webpki.certificates import verify_chain
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+VICTIM_PREFIX = P("5.0.0.0/16")
+VICTIM_ADDR = "5.0.0.10"
+VICTIM_ASN = ASN(10)
+ATTACKER_ASN = ASN(20)
+CA_ASN = ASN(30)
+
+
+@pytest.fixture()
+def world():
+    """Transit 2 on top; 1, 3, 4 customers; victim 10 under 1,
+    attacker 20 under 3, the CA's network 30 under 4."""
+    topo = ASTopology()
+    for asn in (1, 2, 3, 4, 10, 20, 30):
+        topo.add_as(asn)
+    for customer in (1, 3, 4):
+        topo.add_provider(customer, 2)
+    topo.add_provider(10, 1)
+    topo.add_provider(20, 3)
+    topo.add_provider(30, 4)
+
+    namespace = Namespace()
+    namespace.add_address("victim.example", VICTIM_ADDR)
+    namespace.add_cname("www.victim.example", "victim.example")
+    resolver = PublicResolver(namespace, ResolverSpec("CA-resolver", "ca-dc"))
+    return topo, namespace, resolver
+
+
+def legitimate_host(address: Address):
+    return VICTIM_ASN if VICTIM_PREFIX.contains(address) else None
+
+
+def make_ca(resolver):
+    validator = DomainControlValidator(resolver=resolver, ca_asn=CA_ASN)
+    return WebCA("SimCA", DeterministicRNG("ca"), validator)
+
+
+class TestCertificates:
+    def test_issue_and_verify_chain(self, world):
+        _topo, _ns, resolver = world
+        ca = make_ca(resolver)
+        key = generate_keypair(DeterministicRNG(1))
+        cert = ca.request_certificate(
+            "victim.example",
+            key.public,
+            VICTIM_ASN,
+            routing_lookup=lambda asn, addr: VICTIM_ASN,
+            legitimate_host_asn=legitimate_host,
+            now=5.0,
+        )
+        assert cert is not None
+        assert verify_chain(cert, "victim.example", ca.root_store_entry(), 6.0)
+        assert verify_chain(cert, "www.victim.example", ca.root_store_entry(), 6.0)
+        assert not verify_chain(cert, "other.example", ca.root_store_entry(), 6.0)
+        assert not verify_chain(cert, "victim.example", {}, 6.0)
+        assert not verify_chain(
+            cert, "victim.example", ca.root_store_entry(), 1000.0
+        )
+
+    def test_tampered_certificate_rejected(self, world):
+        import dataclasses
+
+        _topo, _ns, resolver = world
+        ca = make_ca(resolver)
+        key = generate_keypair(DeterministicRNG(2))
+        cert = ca.request_certificate(
+            "victim.example", key.public, VICTIM_ASN,
+            lambda a, b: VICTIM_ASN, legitimate_host, now=0.0,
+        )
+        forged = dataclasses.replace(cert, domain="bank.example")
+        assert not verify_chain(
+            forged, "bank.example", ca.root_store_entry(), 1.0
+        )
+
+
+class TestDomainControlValidation:
+    def test_legitimate_owner_passes(self, world):
+        _topo, _ns, resolver = world
+        validator = DomainControlValidator(resolver, CA_ASN)
+        outcome = validator.validate(
+            "victim.example", VICTIM_ASN,
+            routing_lookup=lambda asn, addr: VICTIM_ASN,
+            legitimate_host_asn=legitimate_host,
+        )
+        assert outcome is ValidationOutcome.CONTROL_PROVEN
+
+    def test_impostor_fails_with_honest_routing(self, world):
+        _topo, _ns, resolver = world
+        validator = DomainControlValidator(resolver, CA_ASN)
+        outcome = validator.validate(
+            "victim.example", ATTACKER_ASN,
+            routing_lookup=lambda asn, addr: VICTIM_ASN,
+            legitimate_host_asn=legitimate_host,
+        )
+        assert outcome is ValidationOutcome.CONTROL_FAILED
+
+    def test_unresolvable(self, world):
+        _topo, _ns, resolver = world
+        validator = DomainControlValidator(resolver, CA_ASN)
+        outcome = validator.validate(
+            "missing.example", VICTIM_ASN,
+            routing_lookup=lambda asn, addr: VICTIM_ASN,
+            legitimate_host_asn=legitimate_host,
+        )
+        assert outcome is ValidationOutcome.UNRESOLVABLE
+
+    def test_unroutable(self, world):
+        _topo, _ns, resolver = world
+        validator = DomainControlValidator(resolver, CA_ASN)
+        outcome = validator.validate(
+            "victim.example", VICTIM_ASN,
+            routing_lookup=lambda asn, addr: None,
+            legitimate_host_asn=legitimate_host,
+        )
+        assert outcome is ValidationOutcome.UNROUTABLE
+
+
+class TestBGPCertificateAttack:
+    def test_attack_succeeds_without_rpki(self, world):
+        topo, _ns, resolver = world
+        attack = BGPCertificateAttack(topo, legitimate_host)
+        result = attack.execute(
+            victim_domain="victim.example",
+            victim_announcement=Announcement(VICTIM_PREFIX, VICTIM_ASN),
+            attacker_asn=ATTACKER_ASN,
+            ca=make_ca(resolver),
+        )
+        assert result.succeeded
+        assert result.mitm_possible  # the cert outlives the hijack
+        assert result.healed         # routing shows no trace afterwards
+        assert result.hijack_messages > 0
+
+    def test_attack_blocked_by_rpki_at_ca(self, world):
+        topo, _ns, resolver = world
+        payloads = ValidatedPayloads([VRP(VICTIM_PREFIX, 16, VICTIM_ASN)])
+        attack = BGPCertificateAttack(topo, legitimate_host)
+        result = attack.execute(
+            victim_domain="victim.example",
+            victim_announcement=Announcement(VICTIM_PREFIX, VICTIM_ASN),
+            attacker_asn=ATTACKER_ASN,
+            ca=make_ca(resolver),
+            payloads=payloads,
+            # Enforcement on the CA's side of the graph is enough.
+            enforcing=[CA_ASN, ASN(4)],
+        )
+        assert not result.succeeded
+        assert not result.mitm_possible
+
+    def test_attack_blocked_by_core_enforcement(self, world):
+        topo, _ns, resolver = world
+        payloads = ValidatedPayloads([VRP(VICTIM_PREFIX, 16, VICTIM_ASN)])
+        attack = BGPCertificateAttack(topo, legitimate_host)
+        result = attack.execute(
+            victim_domain="victim.example",
+            victim_announcement=Announcement(VICTIM_PREFIX, VICTIM_ASN),
+            attacker_asn=ATTACKER_ASN,
+            ca=make_ca(resolver),
+            payloads=payloads,
+            enforcing=[ASN(2)],  # only the transit core validates
+        )
+        assert not result.succeeded
+
+    def test_same_prefix_hijack_can_also_win_validation(self, world):
+        """A MOAS (same-prefix) hijack splits the topology; whether
+        the CA is fooled depends on which side it sits.  Here the CA
+        (under 4) is nearer the attacker side? Both 1 and 3 hang off
+        the same transit, so tie-breaking decides; assert the result
+        is consistent with the routing state."""
+        topo, _ns, resolver = world
+        attack = BGPCertificateAttack(topo, legitimate_host)
+        result = attack.execute(
+            victim_domain="victim.example",
+            victim_announcement=Announcement(VICTIM_PREFIX, VICTIM_ASN),
+            attacker_asn=ATTACKER_ASN,
+            ca=make_ca(resolver),
+            hijack_prefix=VICTIM_PREFIX,  # exact-prefix MOAS
+        )
+        # With equal path lengths the lower neighbor (AS1, victim side)
+        # wins at the transit: validation reaches the victim, issuance
+        # to the attacker fails.
+        assert not result.succeeded
