@@ -19,6 +19,7 @@ from repro.bgp.aspath import ASPath
 from repro.bgp.collector import TableDump, TableDumpEntry
 from repro.bgp.errors import BGPError
 from repro.net import ASN, Prefix
+from repro.obs.runtime import metrics, tracer
 
 _MARKER = "TABLE_DUMP2"
 
@@ -61,10 +62,14 @@ def write_dump(
     """Write every row of a dump; returns the line count."""
     path = Path(path)
     count = 0
-    with path.open("w") as handle:
-        for entry in dump:
-            handle.write(format_entry(entry, collector) + "\n")
-            count += 1
+    with tracer().span("dump.write", path=str(path)):
+        with path.open("w") as handle:
+            for entry in dump:
+                handle.write(format_entry(entry, collector) + "\n")
+                count += 1
+    metrics().counter(
+        "ripki_dump_rows_written_total", "Table-dump rows serialised"
+    ).inc(count)
     return count
 
 
@@ -72,12 +77,18 @@ def read_dump(path: Union[str, Path]) -> TableDump:
     """Read a dump file back into an indexed :class:`TableDump`."""
     path = Path(path)
     dump = TableDump()
-    with path.open() as handle:
-        for line in handle:
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            dump.add(parse_entry(line))
+    rows = 0
+    with tracer().span("dump.read", path=str(path)):
+        with path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                dump.add(parse_entry(line))
+                rows += 1
+    metrics().counter(
+        "ripki_dump_rows_read_total", "Table-dump rows parsed"
+    ).inc(rows)
     return dump
 
 

@@ -42,6 +42,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--figure", choices=["1", "2", "3", "4", "table1", "cdn-as"],
                      action="append", default=None,
                      help="restrict output (repeatable)")
+    run.add_argument("--progress", action="store_true",
+                     help="render a rate/ETA progress line on stderr")
+    run.add_argument("--metrics-out", metavar="FILE", default=None,
+                     help="write Prometheus text metrics to FILE")
+    run.add_argument("--trace-out", metavar="FILE", default=None,
+                     help="write the span trace as JSON to FILE")
 
     export = sub.add_parser(
         "export",
@@ -91,22 +97,48 @@ def _print_series(title: str, series_map, limit: int = 20) -> None:
 
 
 def run_study(args: argparse.Namespace) -> int:
+    from repro import obs
+
     wanted = set(args.figure or ["1", "2", "3", "4", "table1", "cdn-as"])
-    print(f"building world: {args.domains} domains, seed {args.seed} ...")
-    started = time.time()
-    world = WebEcosystem.build(
-        EcosystemConfig(domain_count=args.domains, seed=args.seed)
-    )
-    print(f"  built in {time.time() - started:.1f}s: {world!r}")
-    started = time.time()
-    result = MeasurementStudy.from_ecosystem(world).run()
-    print(f"  measured in {time.time() - started:.1f}s")
+    observe = bool(args.progress or args.metrics_out or args.trace_out)
+    registry = collector = None
+    if observe:
+        registry, collector = obs.enable()
+    try:
+        print(f"building world: {args.domains} domains, seed {args.seed} ...")
+        started = time.time()
+        world = WebEcosystem.build(
+            EcosystemConfig(domain_count=args.domains, seed=args.seed)
+        )
+        print(f"  built in {time.time() - started:.1f}s: {world!r}")
+        started = time.time()
+        progress = obs.stderr_renderer() if args.progress else None
+        result = MeasurementStudy.from_ecosystem(world).run(progress=progress)
+        print(f"  measured in {time.time() - started:.1f}s")
 
-    stats = pipeline_statistics(result)
-    print("\n== Section 4 statistics ==")
-    for key, value in stats.items():
-        print(f"  {key}: {value}")
+        stats = pipeline_statistics(result, registry=registry)
+        print("\n== Section 4 statistics ==")
+        for key, value in stats.items():
+            print(f"  {key}: {value}")
 
+        _render_figures(args, wanted, world, result)
+
+        if observe:
+            print("\n== Stage timings ==")
+            print(obs.stage_timing_report(collector))
+            if args.metrics_out:
+                size = registry.write_prometheus(args.metrics_out)
+                print(f"  metrics: {args.metrics_out} ({size} bytes)")
+            if args.trace_out:
+                spans = collector.dump(args.trace_out)
+                print(f"  trace: {args.trace_out} ({spans} spans)")
+    finally:
+        if observe:
+            obs.disable()
+    return 0
+
+
+def _render_figures(args, wanted, world, result) -> None:
     if "1" in wanted:
         series = figure1_www_overlap(result, args.bins)
         _print_series("Figure 1: equal prefixes www vs w/o www", {"=": series})
@@ -135,7 +167,6 @@ def run_study(args: argparse.Namespace) -> int:
     if "cdn-as" in wanted:
         print("\n== Section 4.2: CDN ASes in the RPKI ==")
         print("  " + cdn_as_report(world).summary())
-    return 0
 
 
 def run_export(args: argparse.Namespace) -> int:

@@ -12,25 +12,40 @@ from typing import List, Optional, Tuple
 from repro.dns import PublicResolver
 from repro.dns.errors import DNSError, ResolutionError
 from repro.net import Address, is_special_purpose
+from repro.obs.runtime import metrics, tracer
 from repro.core.records import NameMeasurement
 
 
 def measure_name(resolver: PublicResolver, name: str) -> NameMeasurement:
     """Resolve one name and pre-fill the DNS part of its measurement."""
+    counters = metrics()
     measurement = NameMeasurement(name=name)
-    try:
-        answer = resolver.resolve(name)
-    except (DNSError, ResolutionError):
-        return measurement
-    measurement.cname_count = answer.cname_count
-    if not answer.addresses:
-        return measurement
-    measurement.resolved = True
-    for address in answer.addresses:
-        if is_special_purpose(address):
-            measurement.excluded_special += 1
-        else:
-            measurement.addresses.append(address)
+    with tracer().span("stage.dns", name=name):
+        counters.counter(
+            "ripki_dns_resolutions_total", "Names pushed through step 2"
+        ).inc()
+        try:
+            answer = resolver.resolve(name)
+        except (DNSError, ResolutionError):
+            counters.counter(
+                "ripki_dns_resolution_errors_total",
+                "Step-2 resolutions ending in a DNS error",
+            ).inc()
+            return measurement
+        measurement.cname_count = answer.cname_count
+        if not answer.addresses:
+            return measurement
+        measurement.resolved = True
+        for address in answer.addresses:
+            if is_special_purpose(address):
+                measurement.excluded_special += 1
+            else:
+                measurement.addresses.append(address)
+        if measurement.excluded_special:
+            counters.counter(
+                "ripki_dns_special_excluded_total",
+                "Answers discarded as IANA special-purpose",
+            ).inc(measurement.excluded_special)
     return measurement
 
 

@@ -10,16 +10,62 @@ validation outcome."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.bgp import TableDump
 from repro.dns import PublicResolver
+from repro.obs.progress import ProgressEvent, ProgressReporter
+from repro.obs.runtime import metrics, tracer
 from repro.rpki import ValidatedPayloads
 from repro.web.alexa import AlexaRanking, Domain
 from repro.core.dns_mapping import measure_name
 from repro.core.prefix_mapping import map_addresses
 from repro.core.records import DomainMeasurement, NameMeasurement
 from repro.core.rpki_validation import validate_pairs
+
+# Funnel counters, one metric name per StudyStatistics field.  The
+# labelled entries share a metric family split by name form.
+_STAT_METRICS: Dict[str, Tuple[str, Optional[Dict[str, str]]]] = {
+    "domain_count": ("ripki_domains_measured_total", None),
+    "invalid_dns_domains": ("ripki_invalid_dns_domains_total", None),
+    "www_addresses": ("ripki_addresses_total", {"form": "www"}),
+    "plain_addresses": ("ripki_addresses_total", {"form": "plain"}),
+    "www_pairs": ("ripki_pairs_total", {"form": "www"}),
+    "plain_pairs": ("ripki_pairs_total", {"form": "plain"}),
+    "unreachable_addresses": ("ripki_unreachable_addresses_total", None),
+    "as_set_exclusions": ("ripki_as_set_exclusions_total", None),
+}
+
+_STAT_HELP = {
+    "ripki_domains_measured_total": "Domains pushed through the funnel",
+    "ripki_invalid_dns_domains_total":
+        "Domains excluded: only special-purpose answers",
+    "ripki_addresses_total": "Step-2 addresses kept, by name form",
+    "ripki_pairs_total": "Step-3/4 prefix-origin pairs, by name form",
+    "ripki_unreachable_addresses_total":
+        "Addresses with no covering prefix in the table dump",
+    "ripki_as_set_exclusions_total":
+        "Table rows skipped for an AS_SET origin (RFC 6472)",
+}
+
+# Stage name -> the counter that proves the stage observed work.
+PIPELINE_STAGES: Dict[str, str] = {
+    "rank": "ripki_domains_measured_total",
+    "dns": "ripki_dns_resolutions_total",
+    "prefix": "ripki_prefix_lookups_total",
+    "rpki": "ripki_rpki_validations_total",
+}
+
+ProgressSink = Union[ProgressReporter, Callable[[ProgressEvent], None]]
+
+
+def _register_funnel_counters(registry) -> None:
+    """Create every funnel series up front so zero counts are explicit."""
+    for metric, labels in _STAT_METRICS.values():
+        labelnames = tuple(labels) if labels else ()
+        counter = registry.counter(metric, _STAT_HELP[metric], labelnames=labelnames)
+        if labels:
+            counter.labels(**labels)
 
 
 @dataclass
@@ -40,6 +86,10 @@ class StudyStatistics:
         return self.www_addresses + self.plain_addresses
 
     @property
+    def total_pairs(self) -> int:
+        return self.www_pairs + self.plain_pairs
+
+    @property
     def invalid_dns_fraction(self) -> float:
         if not self.domain_count:
             return 0.0
@@ -50,6 +100,48 @@ class StudyStatistics:
         if not self.total_addresses:
             return 0.0
         return self.unreachable_addresses / self.total_addresses
+
+    # -- metrics round-trip ------------------------------------------------
+
+    def to_metrics(self, registry) -> None:
+        """Record every counter into ``registry`` (expects fresh series)."""
+        for field_name, (metric, labels) in _STAT_METRICS.items():
+            labelnames = tuple(labels) if labels else ()
+            counter = registry.counter(
+                metric, _STAT_HELP[metric], labelnames=labelnames
+            )
+            if labels:
+                counter = counter.labels(**labels)
+            counter.inc(getattr(self, field_name))
+
+    @classmethod
+    def from_metrics(cls, registry) -> "StudyStatistics":
+        """Rebuild the statistics from a registry's funnel counters."""
+        stats = cls()
+        for field_name, (metric, labels) in _STAT_METRICS.items():
+            instrument = registry.get(metric)
+            if instrument is None:
+                continue
+            if labels:
+                instrument = instrument.labels(**labels)
+            setattr(stats, field_name, int(instrument.value))
+        return stats
+
+    def observed_stages(self, registry) -> List[str]:
+        """Funnel stages whose counters recorded work in ``registry``."""
+        observed = []
+        for stage, metric in PIPELINE_STAGES.items():
+            instrument = registry.get(metric)
+            if instrument is None:
+                continue
+            series = instrument.series()
+            if any(child.value > 0 for _key, child in series):
+                observed.append(stage)
+        return observed
+
+    def consistent_with(self, registry) -> bool:
+        """Sanity check: do the registry's funnel counters match us?"""
+        return StudyStatistics.from_metrics(registry) == self
 
 
 class StudyResult:
@@ -111,15 +203,44 @@ class MeasurementStudy:
             payloads=world.payloads(),
         )
 
-    def run(self) -> StudyResult:
-        """Execute steps 2-4 for every domain of the ranking."""
+    def run(self, progress: Optional[ProgressSink] = None) -> StudyResult:
+        """Execute steps 2-4 for every domain of the ranking.
+
+        ``progress`` may be a :class:`ProgressReporter` or a bare
+        callback (wrapped in one); it receives rate/ETA events while
+        the funnel walks the ranking.
+        """
         measurements: List[DomainMeasurement] = []
         stats = StudyStatistics(domain_count=len(self._ranking))
-        for domain in self._ranking:
-            measurement = self.measure_domain(domain)
-            measurements.append(measurement)
-            self._accumulate(stats, measurement)
+        reporter = self._make_reporter(progress)
+        counters = metrics()
+        _register_funnel_counters(counters)
+        measured = counters.counter(
+            "ripki_domains_measured_total",
+            _STAT_HELP["ripki_domains_measured_total"],
+        )
+        with tracer().span("study.run", domains=len(self._ranking)):
+            with tracer().span("stage.rank", domains=len(self._ranking)):
+                domains = list(self._ranking)
+            for domain in domains:
+                measurement = self.measure_domain(domain)
+                measurements.append(measurement)
+                self._accumulate(stats, measurement)
+                measured.inc()
+                if reporter is not None:
+                    reporter.tick()
+        if reporter is not None:
+            reporter.done()
         return StudyResult(measurements, stats)
+
+    def _make_reporter(
+        self, progress: Optional[ProgressSink]
+    ) -> Optional[ProgressReporter]:
+        if progress is None:
+            return None
+        if isinstance(progress, ProgressReporter):
+            return progress
+        return ProgressReporter(total=len(self._ranking), callback=progress)
 
     def measure_domain(self, domain: Domain) -> DomainMeasurement:
         """Steps 2-4 for one domain (both name forms)."""
@@ -136,16 +257,37 @@ class MeasurementStudy:
 
     @staticmethod
     def _accumulate(stats: StudyStatistics, measurement: DomainMeasurement) -> None:
+        counters = metrics()
         www, plain = measurement.www, measurement.plain
         resolved_forms = [form for form in (www, plain) if form.resolved]
         if resolved_forms and all(
             not form.addresses and form.excluded_special for form in resolved_forms
         ):
             stats.invalid_dns_domains += 1
+            counters.counter(
+                "ripki_invalid_dns_domains_total",
+                _STAT_HELP["ripki_invalid_dns_domains_total"],
+            ).inc()
         stats.www_addresses += len(www.addresses)
         stats.plain_addresses += len(plain.addresses)
         stats.www_pairs += len(www.pairs)
         stats.plain_pairs += len(plain.pairs)
+        addresses = counters.counter(
+            "ripki_addresses_total",
+            _STAT_HELP["ripki_addresses_total"],
+            labelnames=("form",),
+        )
+        pairs = counters.counter(
+            "ripki_pairs_total",
+            _STAT_HELP["ripki_pairs_total"],
+            labelnames=("form",),
+        )
+        addresses.labels(form="www").inc(len(www.addresses))
+        addresses.labels(form="plain").inc(len(plain.addresses))
+        pairs.labels(form="www").inc(len(www.pairs))
+        pairs.labels(form="plain").inc(len(plain.pairs))
+        # unreachable/AS_SET counters tick live inside step 3
+        # (prefix_mapping); only the plain-int stats accumulate here.
         stats.unreachable_addresses += (
             www.unreachable_addresses + plain.unreachable_addresses
         )

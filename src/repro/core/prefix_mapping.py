@@ -14,6 +14,7 @@ from typing import List, Set, Tuple
 
 from repro.bgp import TableDump
 from repro.net import ASN, Address, Prefix
+from repro.obs.runtime import metrics, tracer
 from repro.core.records import NameMeasurement
 
 
@@ -25,16 +26,29 @@ def map_addresses(
     Side effects on ``measurement``: counts unreachable addresses and
     AS_SET-excluded rows.
     """
+    counters = metrics()
     pairs: Set[Tuple[Prefix, ASN]] = set()
-    for address in measurement.addresses:
-        entries = dump.covering_entries(address)
-        if not entries:
-            measurement.unreachable_addresses += 1
-            continue
-        for entry in entries:
-            origin = entry.origin
-            if origin is None:
-                measurement.as_set_excluded += 1
+    with tracer().span("stage.prefix", name=measurement.name):
+        counters.counter(
+            "ripki_prefix_lookups_total", "Addresses pushed through step 3"
+        ).inc(len(measurement.addresses))
+        for address in measurement.addresses:
+            entries = dump.covering_entries(address)
+            if not entries:
+                measurement.unreachable_addresses += 1
+                counters.counter(
+                    "ripki_unreachable_addresses_total",
+                    "Addresses with no covering prefix in the table dump",
+                ).inc()
                 continue
-            pairs.add((entry.prefix, origin))
+            for entry in entries:
+                origin = entry.origin
+                if origin is None:
+                    measurement.as_set_excluded += 1
+                    counters.counter(
+                        "ripki_as_set_exclusions_total",
+                        "Table rows skipped for an AS_SET origin (RFC 6472)",
+                    ).inc()
+                    continue
+                pairs.add((entry.prefix, origin))
     return sorted(pairs)

@@ -188,9 +188,27 @@ def cdn_as_report(world) -> CDNASReport:
 # -- Section 4 opening statistics ---------------------------------------------
 
 
-def pipeline_statistics(result: StudyResult) -> Dict[str, float]:
-    """The counters reported in the first paragraph of Section 4."""
+def pipeline_statistics(
+    result: StudyResult, registry=None
+) -> Dict[str, float]:
+    """The counters reported in the first paragraph of Section 4.
+
+    With a metrics ``registry`` the numbers are rebuilt from the
+    funnel counters the instrumented stages recorded — the registry
+    is then the single source of truth shared with any exporter — and
+    a mismatch against the accumulated statistics raises.
+    """
     stats = result.statistics
+    if registry is not None:
+        from repro.core.pipeline import StudyStatistics
+
+        rebuilt = StudyStatistics.from_metrics(registry)
+        if rebuilt != stats:
+            raise ValueError(
+                "metrics registry disagrees with StudyStatistics: "
+                f"{rebuilt} != {stats}"
+            )
+        stats = rebuilt
     return {
         "domains": stats.domain_count,
         "invalid_dns_fraction": stats.invalid_dns_fraction,

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Iterable, List, Tuple
 
 from repro.net import ASN, Prefix
+from repro.obs.runtime import metrics, tracer
 from repro.rpki import ValidatedPayloads
 from repro.core.records import PrefixOriginPair
 
@@ -19,11 +20,20 @@ def validate_pairs(
     pairs: Iterable[Tuple[Prefix, ASN]],
 ) -> List[PrefixOriginPair]:
     """Annotate each pair with its origin-validation outcome."""
-    return [
-        PrefixOriginPair(
-            prefix=prefix,
-            origin=origin,
-            state=payloads.validate_origin(prefix, origin),
+    with tracer().span("stage.rpki"):
+        validated = [
+            PrefixOriginPair(
+                prefix=prefix,
+                origin=origin,
+                state=payloads.validate_origin(prefix, origin),
+            )
+            for prefix, origin in pairs
+        ]
+        outcomes = metrics().counter(
+            "ripki_rpki_validations_total",
+            "Step-4 origin validations by RFC 6811 outcome",
+            labelnames=("state",),
         )
-        for prefix, origin in pairs
-    ]
+        for pair in validated:
+            outcomes.labels(state=pair.state.name.lower()).inc()
+    return validated

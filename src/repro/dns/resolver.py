@@ -16,8 +16,10 @@ from repro.dns.errors import ResolutionError
 from repro.dns.namespace import GLOBAL_VANTAGE, Namespace
 from repro.dns.records import RecordType, ResourceRecord, normalise_name
 from repro.net import Address
+from repro.obs.runtime import metrics
 
 MAX_CHAIN_LENGTH = 16
+DEFAULT_CACHE_SIZE = 65_536
 
 
 class RCode(enum.Enum):
@@ -60,11 +62,25 @@ class Answer:
 
 
 class RecursiveResolver:
-    """Resolves names against a :class:`Namespace` from one vantage."""
+    """Resolves names against a :class:`Namespace` from one vantage.
 
-    def __init__(self, namespace: Namespace, vantage: str = GLOBAL_VANTAGE):
+    ``cache_size > 0`` enables a per-resolver answer cache (FIFO
+    eviction, keyed by name and record types).  The cache is off by
+    default because the namespace is mutable — callers that know
+    their namespace is frozen (a built world) can turn it on.  Hits,
+    misses, and evictions are counted in the active metrics registry.
+    """
+
+    def __init__(
+        self,
+        namespace: Namespace,
+        vantage: str = GLOBAL_VANTAGE,
+        cache_size: int = 0,
+    ):
         self._namespace = namespace
         self.vantage = vantage
+        self._cache_size = cache_size
+        self._cache: dict = {}
 
     def resolve(
         self,
@@ -73,6 +89,36 @@ class RecursiveResolver:
     ) -> Answer:
         """Resolve ``name``, following CNAMEs, for the given types."""
         name = normalise_name(name)
+        if self._cache_size:
+            return self._resolve_cached(name, rtypes)
+        return self._resolve(name, rtypes)
+
+    def _resolve_cached(self, name: str, rtypes: Sequence[RecordType]) -> Answer:
+        counters = metrics()
+        key = (name, tuple(rtypes))
+        hit = self._cache.get(key)
+        if hit is not None:
+            counters.counter(
+                "ripki_dns_cache_hits_total", "Resolver answer-cache hits"
+            ).inc()
+            return _copy_answer(hit)
+        counters.counter(
+            "ripki_dns_cache_misses_total", "Resolver answer-cache misses"
+        ).inc()
+        answer = self._resolve(name, rtypes)
+        if len(self._cache) >= self._cache_size:
+            # FIFO eviction keeps behaviour deterministic.
+            self._cache.pop(next(iter(self._cache)))
+            counters.counter(
+                "ripki_dns_cache_evictions_total", "Resolver answer-cache evictions"
+            ).inc()
+        self._cache[key] = _copy_answer(answer)
+        return answer
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+
+    def _resolve(self, name: str, rtypes: Sequence[RecordType]) -> Answer:
         answer = Answer(name=name, rcode=RCode.NOERROR)
         current = name
         seen = {current}
@@ -101,4 +147,22 @@ class RecursiveResolver:
         if not answer.addresses:
             known = self._namespace.exists(name)
             answer.rcode = RCode.NOERROR if known else RCode.NXDOMAIN
+        counters = metrics()
+        if counters.enabled:
+            counters.histogram(
+                "ripki_dns_cname_hops",
+                "CNAME indirections per resolution (CDN heuristic input)",
+                buckets=(0, 1, 2, 3, 4, 8, 16),
+            ).observe(answer.cname_count)
         return answer
+
+
+def _copy_answer(answer: Answer) -> Answer:
+    """Shallow-copy an answer so cache entries stay immutable."""
+    return Answer(
+        name=answer.name,
+        rcode=answer.rcode,
+        addresses=list(answer.addresses),
+        cname_chain=list(answer.cname_chain),
+        records=list(answer.records),
+    )

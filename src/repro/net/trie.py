@@ -19,8 +19,12 @@ from __future__ import annotations
 from typing import Generic, Iterator, List, Optional, Tuple, TypeVar, Union
 
 from repro.net.addr import Address, Prefix
+from repro.obs.runtime import metrics
 
 V = TypeVar("V")
+
+_LOOKUP_HELP = "PrefixTrie lookups by operation"
+_MATCH_BUCKETS = (0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
 
 
 class _Node(Generic[V]):
@@ -143,6 +147,11 @@ class PrefixTrie(Generic[V]):
 
     def lookup_exact(self, prefix: Prefix) -> List[V]:
         """Values stored at exactly ``prefix`` (empty list if none)."""
+        counters = metrics()
+        if counters.enabled:
+            counters.counter(
+                "ripki_trie_lookups_total", _LOOKUP_HELP, labelnames=("op",)
+            ).labels(op="exact").inc()
         return self._tries[prefix.family].exact(prefix)
 
     def covering(self, target: Union[Address, Prefix]) -> List[Tuple[Prefix, V]]:
@@ -155,12 +164,32 @@ class PrefixTrie(Generic[V]):
             prefix = target.supernet(length)
             for value in values:
                 results.append((prefix, value))
+        counters = metrics()
+        if counters.enabled:
+            counters.counter(
+                "ripki_trie_lookups_total", _LOOKUP_HELP, labelnames=("op",)
+            ).labels(op="covering").inc()
+            counters.histogram(
+                "ripki_trie_covering_matches",
+                "Covering prefixes found per lookup",
+                buckets=_MATCH_BUCKETS,
+            ).observe(len(results))
+            if not results:
+                counters.counter(
+                    "ripki_trie_misses_total",
+                    "Lookups finding no covering prefix",
+                ).inc()
         return results
 
     def lookup_longest(
         self, target: Union[Address, Prefix]
     ) -> Optional[Tuple[Prefix, List[V]]]:
         """Longest-prefix match; None when nothing covers ``target``."""
+        counters = metrics()
+        if counters.enabled:
+            counters.counter(
+                "ripki_trie_lookups_total", _LOOKUP_HELP, labelnames=("op",)
+            ).labels(op="longest").inc()
         matches = self.covering(target)
         if not matches:
             return None

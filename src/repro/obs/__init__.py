@@ -1,0 +1,89 @@
+"""Observability for the measurement pipeline (``repro.obs``).
+
+Four instruments, one switchboard:
+
+* :mod:`repro.obs.metrics` — Counter/Gauge/Histogram registry with
+  Prometheus-text and JSON exposition,
+* :mod:`repro.obs.tracing` — nested spans over the monotonic clock
+  with an in-memory collector and per-name aggregation,
+* :mod:`repro.obs.progress` — callback-based rate/ETA reporting for
+  long runs,
+* :mod:`repro.obs.logging` — structured key=value logging behind the
+  ``REPRO_LOG_LEVEL`` knob,
+* :mod:`repro.obs.runtime` — the process-wide enable/disable switch
+  (null implementations by default, so instrumentation is free when
+  nobody is watching),
+* :mod:`repro.obs.report` — timing tables and JSON summaries.
+"""
+
+from repro.obs.logging import get_logger, kv, reset_logging
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.progress import (
+    CaptureProgress,
+    ProgressEvent,
+    ProgressReporter,
+    stderr_renderer,
+)
+from repro.obs.report import (
+    stage_timing_report,
+    timing_summary,
+    timing_table,
+    write_timing_summary,
+)
+from repro.obs.runtime import (
+    disable,
+    enable,
+    metrics,
+    observability_enabled,
+    scope,
+    tracer,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanStats,
+    TraceCollector,
+)
+
+__all__ = [
+    "CaptureProgress",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "ProgressEvent",
+    "ProgressReporter",
+    "Span",
+    "SpanStats",
+    "TraceCollector",
+    "disable",
+    "enable",
+    "get_logger",
+    "kv",
+    "metrics",
+    "observability_enabled",
+    "reset_logging",
+    "scope",
+    "stage_timing_report",
+    "stderr_renderer",
+    "timing_summary",
+    "timing_table",
+    "tracer",
+    "write_timing_summary",
+]

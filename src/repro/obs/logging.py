@@ -1,0 +1,93 @@
+"""Structured logging for the reproduction.
+
+One configurator, one format.  Every module asks for its logger via
+``get_logger(__name__)`` and logs key=value pairs::
+
+    log.info("rtr sync", extra=kv(serial=12, vrps=48_201))
+    # 2015-11-16T12:00:00 INFO repro.rpki.rtr: rtr sync serial=12 vrps=48201
+
+The root level comes from the ``REPRO_LOG_LEVEL`` environment
+variable (default ``WARNING`` so library use stays silent); handlers
+are installed exactly once on the ``repro`` root logger.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Any, Dict, Optional
+
+ENV_LEVEL = "REPRO_LOG_LEVEL"
+DEFAULT_LEVEL = "WARNING"
+ROOT_NAME = "repro"
+
+_FIELDS_KEY = "repro_fields"
+
+
+def kv(**fields: Any) -> Dict[str, Dict[str, Any]]:
+    """Wrap structured fields for a logging call's ``extra=``."""
+    return {_FIELDS_KEY: fields}
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``timestamp LEVEL logger: message key=value ...`` lines."""
+
+    default_time_format = "%Y-%m-%dT%H:%M:%S"
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = (
+            f"{self.formatTime(record)} {record.levelname} "
+            f"{record.name}: {record.getMessage()}"
+        )
+        fields = getattr(record, _FIELDS_KEY, None)
+        if fields:
+            pairs = " ".join(
+                f"{key}={_render(value)}" for key, value in fields.items()
+            )
+            base = f"{base} {pairs}"
+        if record.exc_info:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+def _render(value: Any) -> str:
+    text = str(value)
+    if " " in text or "=" in text or not text:
+        return repr(text)
+    return text
+
+
+def configured_level() -> int:
+    """The level named by ``REPRO_LOG_LEVEL`` (default WARNING)."""
+    name = os.environ.get(ENV_LEVEL, DEFAULT_LEVEL).upper()
+    level = logging.getLevelName(name)
+    if not isinstance(level, int):
+        return logging.WARNING
+    return level
+
+
+def get_logger(name: str = ROOT_NAME, stream=None) -> logging.Logger:
+    """The structured logger for ``name``, configuring the root once.
+
+    All loggers hang off the ``repro`` root, so the single handler and
+    the ``REPRO_LOG_LEVEL`` knob govern the whole package.
+    """
+    root = logging.getLogger(ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(KeyValueFormatter())
+        root.addHandler(handler)
+        root.propagate = False
+    root.setLevel(configured_level())
+    if name == ROOT_NAME or name.startswith(ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+def reset_logging() -> None:
+    """Drop installed handlers (test isolation helper)."""
+    root = logging.getLogger(ROOT_NAME)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+        handler.close()

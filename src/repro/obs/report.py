@@ -1,0 +1,69 @@
+"""Human-facing renderings of collected observability data.
+
+The CLI's closing per-stage timing table and the benchmark harness's
+``BENCH_obs.json`` summary both come from here, so every consumer
+formats trace aggregates the same way.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping
+
+from repro.analysis.tables import TextTable
+from repro.obs.tracing import SpanStats, TraceCollector
+
+
+def timing_table(stats: Mapping[str, SpanStats]) -> str:
+    """Render per-span-name aggregates with the shared TextTable."""
+    table = TextTable(
+        ["span", "count", "total s", "mean ms", "min ms", "max ms", "errors"]
+    )
+    for name in sorted(stats):
+        entry = stats[name]
+        minimum = 0.0 if entry.count == 0 else entry.min
+        table.add_row(
+            name,
+            entry.count,
+            f"{entry.total:.3f}",
+            f"{entry.mean * 1000:.3f}",
+            f"{minimum * 1000:.3f}",
+            f"{entry.max * 1000:.3f}",
+            entry.errors,
+        )
+    return table.render()
+
+
+def stage_timing_report(collector: TraceCollector) -> str:
+    """The CLI's closing table over every span the run recorded."""
+    stats = collector.aggregate()
+    if not stats:
+        return "(no spans recorded)"
+    lines = [timing_table(stats)]
+    if collector.dropped:
+        lines.append(f"({collector.dropped} spans dropped past retention limit)")
+    return "\n".join(lines)
+
+
+def timing_summary(stats: Mapping[str, SpanStats]) -> Dict[str, object]:
+    """JSON-ready aggregate (the BENCH_obs.json payload)."""
+    return {
+        name: {
+            "count": entry.count,
+            "total_s": round(entry.total, 6),
+            "mean_s": round(entry.mean, 6),
+            "min_s": round(0.0 if entry.count == 0 else entry.min, 6),
+            "max_s": round(entry.max, 6),
+            "errors": entry.errors,
+        }
+        for name, entry in sorted(stats.items())
+    }
+
+
+def write_timing_summary(stats: Mapping[str, SpanStats], path) -> int:
+    """Write :func:`timing_summary` as JSON; returns the entry count."""
+    summary = timing_summary(stats)
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return len(summary)

@@ -1,0 +1,87 @@
+"""Process-wide observability switchboard.
+
+Instrumented hot paths (pipeline stages, resolver, trie, RTR) fetch
+the active registry/tracer through :func:`metrics` and :func:`tracer`
+at call time.  Both default to the shared null implementations, so a
+library user or benchmark that never enables observability pays one
+dict-free function call per instrumented site and nothing else — the
+"zero-cost-by-default" contract the benchmarks rely on.
+
+The CLI (or a test) turns collection on around a run::
+
+    registry, collector = enable()
+    try:
+        result = study.run()
+    finally:
+        disable()
+
+:class:`scope` does the same as a context manager.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from repro.obs.tracing import NULL_TRACER, NullTracer, TraceCollector
+
+RegistryLike = Union[MetricsRegistry, NullRegistry]
+TracerLike = Union[TraceCollector, NullTracer]
+
+_registry: RegistryLike = NULL_REGISTRY
+_tracer: TracerLike = NULL_TRACER
+
+
+def metrics() -> RegistryLike:
+    """The active metrics registry (null when disabled)."""
+    return _registry
+
+
+def tracer() -> TracerLike:
+    """The active trace collector (null when disabled)."""
+    return _tracer
+
+
+def observability_enabled() -> bool:
+    return _registry.enabled or _tracer.enabled
+
+
+def enable(
+    registry: Optional[RegistryLike] = None,
+    trace_collector: Optional[TracerLike] = None,
+) -> Tuple[RegistryLike, TracerLike]:
+    """Install (or create) a live registry and tracer; returns both."""
+    global _registry, _tracer
+    _registry = registry if registry is not None else MetricsRegistry()
+    _tracer = trace_collector if trace_collector is not None else TraceCollector()
+    return _registry, _tracer
+
+
+def disable() -> None:
+    """Restore the zero-cost null implementations."""
+    global _registry, _tracer
+    _registry = NULL_REGISTRY
+    _tracer = NULL_TRACER
+
+
+class scope:
+    """``with scope() as (registry, tracer): ...`` — scoped enable."""
+
+    def __init__(
+        self,
+        registry: Optional[RegistryLike] = None,
+        trace_collector: Optional[TracerLike] = None,
+    ):
+        self._registry = registry
+        self._tracer = trace_collector
+        self._previous: Optional[Tuple[RegistryLike, TracerLike]] = None
+
+    def __enter__(self) -> Tuple[RegistryLike, TracerLike]:
+        self._previous = (_registry, _tracer)
+        return enable(self._registry, self._tracer)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _registry, _tracer
+        assert self._previous is not None
+        _registry, _tracer = self._previous
+        return False

@@ -25,6 +25,7 @@ from repro.rpki.rtr.pdus import (
     decode_stream,
     prefix_pdu,
 )
+from repro.obs.runtime import metrics
 from repro.rpki.rtr.transport import InMemoryTransport
 from repro.rpki.vrp import VRP, ValidatedPayloads
 
@@ -69,6 +70,28 @@ class RTRCache:
         self._diffs[self.serial] = (announced, withdrawn)
         while len(self._diffs) > self._history_limit:
             del self._diffs[min(self._diffs)]
+        counters = metrics()
+        if counters.enabled:
+            counters.counter(
+                "ripki_rtr_cache_serial_advances_total",
+                "Snapshot loads that advanced the cache serial",
+            ).inc()
+            counters.counter(
+                "ripki_rtr_cache_vrp_changes_total",
+                "VRPs announced/withdrawn across snapshot loads",
+                labelnames=("change",),
+            ).labels(change="announce").inc(len(announced))
+            counters.counter(
+                "ripki_rtr_cache_vrp_changes_total",
+                "VRPs announced/withdrawn across snapshot loads",
+                labelnames=("change",),
+            ).labels(change="withdraw").inc(len(withdrawn))
+            counters.gauge(
+                "ripki_rtr_cache_vrps", "VRPs in the cache's current snapshot"
+            ).set(len(self._current))
+            counters.gauge(
+                "ripki_rtr_cache_serial", "The cache's current serial"
+            ).set(self.serial)
         return len(announced), len(withdrawn)
 
     def vrps(self) -> List[VRP]:
@@ -106,12 +129,21 @@ class RTRCache:
             self._handle(pdu, transport)
 
     def _handle(self, pdu: PDU, transport: InMemoryTransport) -> None:
+        counters = metrics()
+        if counters.enabled:
+            counters.counter(
+                "ripki_rtr_cache_queries_total",
+                "Router queries served, by PDU type",
+                labelnames=("type",),
+            ).labels(type=type(pdu).__name__).inc()
         if isinstance(pdu, ResetQueryPDU):
             self._send_snapshot(transport)
         elif isinstance(pdu, SerialQueryPDU):
             if pdu.session_id != self.session_id:
+                self._count_reset(counters)
                 transport.send(CacheResetPDU().encode())
             elif not self.can_diff_from(pdu.serial):
+                self._count_reset(counters)
                 transport.send(CacheResetPDU().encode())
             else:
                 self._send_diff(transport, pdu.serial)
@@ -126,7 +158,18 @@ class RTRCache:
                 ).encode()
             )
 
+    @staticmethod
+    def _count_reset(counters) -> None:
+        counters.counter(
+            "ripki_rtr_cache_resets_sent_total",
+            "Cache Reset PDUs sent (router must full-resync)",
+        ).inc()
+
     def _send_snapshot(self, transport: InMemoryTransport) -> None:
+        metrics().counter(
+            "ripki_rtr_cache_snapshots_sent_total",
+            "Full snapshot responses served",
+        ).inc()
         out = bytearray(CacheResponsePDU(self.session_id).encode())
         for vrp in self._current.values():
             out += prefix_pdu(FLAG_ANNOUNCE, vrp).encode()
@@ -136,6 +179,10 @@ class RTRCache:
         transport.send(bytes(out))
 
     def _send_diff(self, transport: InMemoryTransport, since: int) -> None:
+        metrics().counter(
+            "ripki_rtr_cache_diffs_sent_total",
+            "Incremental diff responses served",
+        ).inc()
         out = bytearray(CacheResponsePDU(self.session_id).encode())
         for serial in range(since + 1, self.serial + 1):
             announced, withdrawn = self._diffs[serial]

@@ -28,8 +28,17 @@ from repro.rpki.rtr.pdus import (
     SerialQueryPDU,
     decode_stream,
 )
+from repro.obs.runtime import metrics
 from repro.rpki.rtr.transport import InMemoryTransport
 from repro.rpki.vrp import VRP, ValidatedPayloads
+
+
+def _pdu_counter():
+    return metrics().counter(
+        "ripki_rtr_client_pdus_total",
+        "PDUs handled by the router side, by type",
+        labelnames=("type",),
+    )
 
 
 class ClientState(enum.Enum):
@@ -87,6 +96,9 @@ class RTRClient:
                 break  # RFC 8210: an error is fatal to the session
 
     def _handle(self, pdu: PDU) -> None:
+        counters = metrics()
+        if counters.enabled:
+            _pdu_counter().labels(type=type(pdu).__name__).inc()
         if isinstance(pdu, SerialNotifyPDU):
             # Out-of-band poke: fetch the diff unless already syncing.
             if self.state is not ClientState.SYNCING:
@@ -129,9 +141,20 @@ class RTRClient:
                 return
             self._table = self._pending
             self._pending = None
+            if self.serial is None or pdu.serial != self.serial:
+                counters.counter(
+                    "ripki_rtr_client_serial_advances_total",
+                    "End-of-Data PDUs that moved the router's serial",
+                ).inc()
             self.serial = pdu.serial
             self.refresh_interval = pdu.refresh_interval
             self.state = ClientState.SYNCHRONISED
+            counters.gauge(
+                "ripki_rtr_client_vrps", "VRPs in the router's local table"
+            ).set(len(self._table))
+            counters.gauge(
+                "ripki_rtr_client_serial", "The router's last committed serial"
+            ).set(pdu.serial)
         elif isinstance(pdu, CacheResetPDU):
             # The cache cannot diff for us: drop state, full resync.
             # The session id is forgotten too — the reset may follow a
@@ -140,6 +163,10 @@ class RTRClient:
             self._pending = None
             self.serial = None
             self.session_id = None
+            counters.counter(
+                "ripki_rtr_client_resyncs_total",
+                "Cache Resets forcing a full snapshot resync",
+            ).inc()
             self.start()
         elif isinstance(pdu, ErrorReportPDU):
             self.last_error = pdu
@@ -154,6 +181,11 @@ class RTRClient:
         self.state = ClientState.ERROR
         self._pending = None
         self.last_error = ErrorReportPDU(code, b"", message)
+        metrics().counter(
+            "ripki_rtr_client_errors_total",
+            "Fatal session errors raised by the router side",
+            labelnames=("code",),
+        ).labels(code=code.name.lower()).inc()
         self._transport.send(self.last_error.encode())
 
     # -- table access -----------------------------------------------------------

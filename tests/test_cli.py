@@ -79,3 +79,50 @@ class TestEndToEnd:
 
         dump = read_dump(outdir / "table.dump")
         assert len(dump) > 0
+
+
+class TestObservabilityFlags:
+    def test_parser_defaults_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.progress is False
+        assert args.metrics_out is None
+        assert args.trace_out is None
+
+    def test_no_flags_no_obs_sections(self, capsys):
+        exit_code = main(
+            ["run", "--domains", "300", "--seed", "3", "--figure", "table1"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Stage timings" not in out
+        # No obs state leaks into the process after a plain run.
+        from repro.obs.runtime import observability_enabled
+
+        assert not observability_enabled()
+
+    def test_full_obs_run(self, capsys, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "m.prom"
+        trace_path = tmp_path / "t.json"
+        exit_code = main(
+            ["run", "--domains", "300", "--seed", "3", "--figure", "table1",
+             "--progress", "--metrics-out", str(metrics_path),
+             "--trace-out", str(trace_path)]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Stage timings" in captured.out
+        assert "stage.dns" in captured.out
+        assert "measured 300/300 domains" in captured.err
+
+        text = metrics_path.read_text()
+        assert "ripki_domains_measured_total 300" in text
+
+        trace = json.loads(trace_path.read_text())
+        names = {span["name"] for span in trace["spans"]}
+        assert {"stage.rank", "stage.dns", "stage.prefix", "stage.rpki"} <= names
+
+        from repro.obs.runtime import observability_enabled
+
+        assert not observability_enabled()

@@ -1,0 +1,194 @@
+"""Instrumentation of the substrates: resolver cache, trie, RTR, dumps."""
+
+import pytest
+
+from repro import obs
+from repro.bgp.aspath import ASPath
+from repro.bgp.collector import TableDump, TableDumpEntry
+from repro.bgp.dumps import read_dump, write_dump
+from repro.core import MeasurementStudy
+from repro.core.reports import pipeline_statistics
+from repro.dns.namespace import Namespace
+from repro.dns.resolver import RecursiveResolver
+from repro.net import ASN, Address, Prefix
+from repro.net.trie import PrefixTrie
+from repro.rpki.rtr.cache import RTRCache
+from repro.rpki.rtr.client import RTRClient
+from repro.rpki.rtr.transport import TransportPair
+from repro.rpki.vrp import VRP
+
+
+class TestResolverCache:
+    def _namespace(self):
+        namespace = Namespace()
+        namespace.add_address("a.com", "192.0.2.1")
+        namespace.add_cname("www.a.com", "a.com")
+        return namespace
+
+    def test_cache_disabled_by_default(self):
+        resolver = RecursiveResolver(self._namespace())
+        with obs.scope() as (registry, _tracer):
+            resolver.resolve("a.com")
+            resolver.resolve("a.com")
+            assert registry.get("ripki_dns_cache_hits_total") is None
+            assert registry.get("ripki_dns_cache_misses_total") is None
+
+    def test_cache_hits_and_misses_counted(self):
+        resolver = RecursiveResolver(self._namespace(), cache_size=16)
+        with obs.scope() as (registry, _tracer):
+            first = resolver.resolve("a.com")
+            second = resolver.resolve("a.com")
+            third = resolver.resolve("www.a.com")
+            assert registry.get("ripki_dns_cache_misses_total").value == 2
+            assert registry.get("ripki_dns_cache_hits_total").value == 1
+        assert first.addresses == second.addresses
+        assert third.cname_count == 1
+
+    def test_cached_answers_are_isolated_copies(self):
+        resolver = RecursiveResolver(self._namespace(), cache_size=16)
+        first = resolver.resolve("a.com")
+        first.addresses.append(Address.parse("203.0.113.9"))
+        second = resolver.resolve("a.com")
+        assert len(second.addresses) == 1
+
+    def test_eviction_is_fifo_and_counted(self):
+        resolver = RecursiveResolver(self._namespace(), cache_size=1)
+        with obs.scope() as (registry, _tracer):
+            resolver.resolve("a.com")
+            resolver.resolve("www.a.com")  # evicts a.com
+            resolver.resolve("a.com")      # miss again
+            assert registry.get("ripki_dns_cache_evictions_total").value == 2
+            assert registry.get("ripki_dns_cache_hits_total") is None
+
+
+class TestTrieCounters:
+    def test_lookup_ops_counted(self):
+        trie = PrefixTrie()
+        prefix = Prefix.parse("10.0.0.0/8")
+        trie.insert(prefix, "value")
+        with obs.scope() as (registry, _tracer):
+            trie.lookup_exact(prefix)
+            trie.covering(Address.parse("10.1.2.3"))
+            trie.lookup_longest(Address.parse("10.1.2.3"))
+            trie.covering(Address.parse("192.0.2.1"))  # miss
+            lookups = registry.get("ripki_trie_lookups_total")
+            assert lookups.labels(op="exact").value == 1
+            # lookup_longest delegates to covering, so covering == 3.
+            assert lookups.labels(op="covering").value == 3
+            assert lookups.labels(op="longest").value == 1
+            assert registry.get("ripki_trie_misses_total").value == 1
+            histogram = registry.get("ripki_trie_covering_matches")
+            assert histogram.count == 3
+
+    def test_disabled_trie_pays_nothing(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "value")
+        assert trie.covering(Address.parse("10.0.0.1"))
+        assert obs.metrics().get("ripki_trie_lookups_total") is None
+
+
+def _vrp(prefix="10.0.0.0/24", asn=65001):
+    return VRP(Prefix.parse(prefix), 24, ASN(asn), "test-ta")
+
+
+def _pump(pair, cache, client, rounds=4):
+    for _ in range(rounds):
+        cache.serve(pair.cache_side)
+        client.poll()
+
+
+class TestRTRCounters:
+    def test_session_lifecycle_counters(self):
+        with obs.scope() as (registry, _tracer):
+            pair = TransportPair()
+            cache = RTRCache()
+            cache.load([_vrp()])
+            client = RTRClient(pair.router_side)
+            client.start()
+            _pump(pair, cache, client)
+            assert len(client) == 1
+
+            # One snapshot served, serial advanced once on the client.
+            assert registry.get("ripki_rtr_cache_snapshots_sent_total").value == 1
+            assert (
+                registry.get("ripki_rtr_client_serial_advances_total").value == 1
+            )
+            assert registry.get("ripki_rtr_client_vrps").value == 1
+            assert registry.get("ripki_rtr_cache_serial_advances_total").value == 1
+
+            # Incremental refresh: one diff served, serial advances again.
+            cache.load([_vrp(), _vrp("10.1.0.0/24", 65002)])
+            client.refresh()
+            _pump(pair, cache, client)
+            assert registry.get("ripki_rtr_cache_diffs_sent_total").value == 1
+            assert (
+                registry.get("ripki_rtr_client_serial_advances_total").value == 2
+            )
+            changes = registry.get("ripki_rtr_cache_vrp_changes_total")
+            assert changes.labels(change="announce").value == 2
+            assert registry.get("ripki_rtr_cache_vrps").value == 2
+
+    def test_cache_reset_counts_resync(self):
+        with obs.scope() as (registry, _tracer):
+            pair = TransportPair()
+            cache = RTRCache(history_limit=1)
+            cache.load([_vrp()])
+            client = RTRClient(pair.router_side)
+            client.start()
+            _pump(pair, cache, client)
+            # Age the history far past the client's serial.
+            for index in range(3):
+                cache.load([_vrp("10.2.%d.0/24" % index, 65100 + index)])
+            client.refresh()
+            _pump(pair, cache, client)
+            assert registry.get("ripki_rtr_cache_resets_sent_total").value == 1
+            assert registry.get("ripki_rtr_client_resyncs_total").value == 1
+            assert registry.get("ripki_rtr_cache_snapshots_sent_total").value == 2
+
+    def test_pdu_type_counters(self):
+        with obs.scope() as (registry, _tracer):
+            pair = TransportPair()
+            cache = RTRCache()
+            cache.load([_vrp()])
+            client = RTRClient(pair.router_side)
+            client.start()
+            _pump(pair, cache, client)
+            queries = registry.get("ripki_rtr_cache_queries_total")
+            assert queries.labels(type="ResetQueryPDU").value == 1
+            pdus = registry.get("ripki_rtr_client_pdus_total")
+            assert pdus.labels(type="CacheResponsePDU").value == 1
+            assert pdus.labels(type="EndOfDataPDU").value == 1
+
+
+class TestDumpCounters:
+    def test_write_and_read_rows_counted(self, tmp_path):
+        dump = TableDump()
+        dump.add(
+            TableDumpEntry(
+                prefix=Prefix.parse("10.0.0.0/8"),
+                path=ASPath.parse("65001 65002"),
+                peer=ASN(65001),
+            )
+        )
+        path = tmp_path / "table.dump"
+        with obs.scope() as (registry, collector):
+            write_dump(dump, path)
+            read_dump(path)
+            assert registry.get("ripki_dump_rows_written_total").value == 1
+            assert registry.get("ripki_dump_rows_read_total").value == 1
+            assert {"dump.write", "dump.read"} <= set(collector.names())
+
+
+class TestStatisticsSourceOfTruth:
+    def test_pipeline_statistics_accepts_matching_registry(self, small_world):
+        with obs.scope() as (registry, _tracer):
+            result = MeasurementStudy.from_ecosystem(small_world).run()
+            stats = pipeline_statistics(result, registry=registry)
+        assert stats == pipeline_statistics(result)
+
+    def test_pipeline_statistics_rejects_mismatched_registry(self, small_world):
+        with obs.scope() as (registry, _tracer):
+            result = MeasurementStudy.from_ecosystem(small_world).run()
+            registry.get("ripki_domains_measured_total").inc()  # corrupt
+            with pytest.raises(ValueError):
+                pipeline_statistics(result, registry=registry)

@@ -1,0 +1,190 @@
+"""Counter/Gauge/Histogram semantics and exposition determinism."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_counts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ripki_things_total", "things")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_cannot_decrease(self):
+        counter = MetricsRegistry().counter("ripki_things_total")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("ripki_things_total")
+        first.inc(3)
+        again = registry.counter("ripki_things_total")
+        assert again is first
+        assert again.value == 3
+
+    def test_type_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("ripki_things_total")
+        with pytest.raises(MetricError):
+            registry.gauge("ripki_things_total")
+
+    def test_label_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("ripki_things_total", labelnames=("form",))
+        with pytest.raises(MetricError):
+            registry.counter("ripki_things_total", labelnames=("state",))
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(MetricError):
+            MetricsRegistry().counter("ripki things")
+
+
+class TestLabels:
+    def test_each_label_set_is_one_series(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ripki_pairs_total", labelnames=("form",))
+        counter.labels(form="www").inc(2)
+        counter.labels(form="plain").inc(5)
+        counter.labels(form="www").inc()
+        assert counter.labels(form="www").value == 3
+        assert counter.labels(form="plain").value == 5
+
+    def test_cardinality_tracked_per_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ripki_pairs_total", labelnames=("form",))
+        for form in ("a", "b", "c"):
+            counter.labels(form=form).inc()
+        assert len(counter.series()) == 3
+
+    def test_wrong_label_names_rejected(self):
+        counter = MetricsRegistry().counter(
+            "ripki_pairs_total", labelnames=("form",)
+        )
+        with pytest.raises(MetricError):
+            counter.labels(shape="www")
+
+    def test_parent_of_labelled_metric_rejects_inc(self):
+        counter = MetricsRegistry().counter(
+            "ripki_pairs_total", labelnames=("form",)
+        )
+        with pytest.raises(MetricError):
+            counter.inc()
+
+    def test_unlabelled_metric_rejects_labels(self):
+        counter = MetricsRegistry().counter("ripki_pairs_total")
+        with pytest.raises(MetricError):
+            counter.labels(form="www")
+
+    def test_reserved_le_label_rejected(self):
+        with pytest.raises(MetricError):
+            MetricsRegistry().histogram("ripki_h", labelnames=("le",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("ripki_vrps")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive(self):
+        histogram = MetricsRegistry().histogram(
+            "ripki_h", buckets=(1.0, 2.0)
+        )
+        histogram.observe(1.0)   # lands in le=1
+        histogram.observe(1.5)   # lands in le=2
+        histogram.observe(99.0)  # lands in +Inf
+        buckets = dict(histogram.bucket_counts())
+        assert buckets[1.0] == 1
+        assert buckets[2.0] == 2          # cumulative
+        assert buckets[float("inf")] == 3
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(101.5)
+
+    def test_buckets_are_sorted_and_fixed(self):
+        histogram = MetricsRegistry().histogram("ripki_h", buckets=(5, 1, 3))
+        assert histogram.buckets == (1, 3, 5)
+
+    def test_default_buckets_deterministic(self):
+        assert MetricsRegistry().histogram("ripki_h").buckets == tuple(
+            sorted(DEFAULT_BUCKETS)
+        )
+
+    def test_labelled_histogram_children_share_buckets(self):
+        histogram = MetricsRegistry().histogram(
+            "ripki_h", labelnames=("op",), buckets=(1.0,)
+        )
+        histogram.labels(op="a").observe(0.5)
+        assert histogram.labels(op="a").buckets == (1.0,)
+        assert histogram.labels(op="a").count == 1
+
+
+class TestExposition:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("ripki_b_total", "b help").inc(2)
+        counter = registry.counter("ripki_a_total", labelnames=("form",))
+        counter.labels(form="www").inc(1)
+        counter.labels(form="plain").inc(9)
+        registry.gauge("ripki_g", "a gauge").set(1.5)
+        registry.histogram("ripki_h", buckets=(1.0,)).observe(0.5)
+        return registry
+
+    def test_snapshot_deterministic(self):
+        one = self._populated().snapshot()
+        two = self._populated().snapshot()
+        assert one == two
+        assert json.dumps(one) == json.dumps(two)
+        assert list(one) == sorted(one)
+
+    def test_prometheus_text_format(self):
+        text = self._populated().render_prometheus()
+        assert '# TYPE ripki_a_total counter' in text
+        assert 'ripki_a_total{form="plain"} 9' in text
+        assert 'ripki_a_total{form="www"} 1' in text
+        assert "# HELP ripki_b_total b help" in text
+        assert "ripki_g 1.5" in text
+        assert 'ripki_h_bucket{le="+Inf"} 1' in text
+        assert "ripki_h_count 1" in text
+        # Deterministic ordering: families sorted by name.
+        assert text.index("ripki_a_total") < text.index("ripki_b_total")
+
+    def test_write_prometheus(self, tmp_path):
+        path = tmp_path / "m.prom"
+        size = self._populated().write_prometheus(path)
+        assert size > 0
+        assert path.read_text() == self._populated().render_prometheus()
+
+
+class TestNullRegistry:
+    def test_everything_is_a_noop(self):
+        registry = NullRegistry()
+        counter = registry.counter("ripki_x_total")
+        counter.inc()
+        counter.labels(form="www").inc(5)
+        registry.gauge("ripki_g").set(3)
+        registry.histogram("ripki_h").observe(1.0)
+        assert counter.value == 0
+        assert registry.render_prometheus() == ""
+        assert registry.snapshot() == {}
+        assert registry.get("ripki_x_total") is None
+        assert not registry.enabled
+
+    def test_shared_singleton(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")

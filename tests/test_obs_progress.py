@@ -1,0 +1,163 @@
+"""Progress-callback cadence and structured logging."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    KeyValueFormatter,
+    configured_level,
+    get_logger,
+    kv,
+    reset_logging,
+)
+from repro.obs.progress import (
+    CaptureProgress,
+    ProgressEvent,
+    ProgressReporter,
+    stderr_renderer,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestProgressCadence:
+    def test_stride_cadence_is_deterministic(self):
+        capture = CaptureProgress()
+        reporter = ProgressReporter(
+            total=10, callback=capture, every=3, min_interval=-1,
+            clock=FakeClock(),
+        )
+        for _ in range(10):
+            reporter.tick()
+        reporter.done()
+        # Events at counts 3, 6, 9, plus the final one at 10.
+        assert [event.count for event in capture.events] == [3, 6, 9, 10]
+        assert capture.events[-1].finished
+        assert not capture.events[0].finished
+
+    def test_time_cadence_throttles(self):
+        clock = FakeClock()
+        capture = CaptureProgress()
+        reporter = ProgressReporter(
+            total=100, callback=capture, min_interval=1.0, clock=clock
+        )
+        for index in range(100):
+            clock.now += 0.1  # 10 ticks per simulated second
+            reporter.tick()
+        reporter.done()
+        # ~one event per simulated second plus the final event.
+        assert 10 <= len(capture.events) <= 12
+
+    def test_rate_and_eta(self):
+        clock = FakeClock()
+        capture = CaptureProgress()
+        reporter = ProgressReporter(
+            total=100, callback=capture, every=50, min_interval=-1,
+            clock=clock,
+        )
+        for _ in range(50):
+            clock.now += 0.1
+            reporter.tick()
+        event = capture.events[0]
+        assert event.count == 50
+        assert event.rate == pytest.approx(10.0)
+        assert event.eta == pytest.approx(5.0)
+        assert event.fraction == pytest.approx(0.5)
+
+    def test_done_is_idempotent(self):
+        capture = CaptureProgress()
+        reporter = ProgressReporter(total=1, callback=capture, min_interval=-1)
+        reporter.tick()
+        reporter.done()
+        reporter.done()
+        assert sum(1 for event in capture.events if event.finished) == 1
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(total=-1, callback=lambda event: None)
+
+    def test_render_lines(self):
+        running = ProgressEvent(
+            count=500, total=1000, elapsed=2.0, rate=250.0, eta=2.0
+        )
+        final = ProgressEvent(
+            count=1000, total=1000, elapsed=4.0, rate=250.0, eta=0.0,
+            finished=True,
+        )
+        assert "500/1,000" in running.render()
+        assert "eta 2s" in running.render()
+        assert "in 4.0s" in final.render()
+
+    def test_stderr_renderer_writes_stream(self):
+        stream = io.StringIO()
+        render = stderr_renderer(stream)
+        render(ProgressEvent(count=1, total=2, elapsed=1.0, rate=1.0, eta=1.0))
+        render(
+            ProgressEvent(
+                count=2, total=2, elapsed=2.0, rate=1.0, eta=0.0,
+                finished=True,
+            )
+        )
+        text = stream.getvalue()
+        assert text.startswith("\r")
+        assert text.endswith("\n")
+
+
+class TestStructuredLogging:
+    def setup_method(self):
+        reset_logging()
+
+    def teardown_method(self):
+        reset_logging()
+
+    def test_key_value_formatting(self):
+        stream = io.StringIO()
+        log = get_logger("repro.test", stream=stream)
+        log.warning("rtr sync", extra=kv(serial=12, vrps=48_201))
+        line = stream.getvalue().strip()
+        assert "WARNING repro.test: rtr sync serial=12 vrps=48201" in line
+
+    def test_values_with_spaces_are_quoted(self):
+        stream = io.StringIO()
+        log = get_logger("repro.test", stream=stream)
+        log.error("oops", extra=kv(reason="it broke"))
+        assert "reason='it broke'" in stream.getvalue()
+
+    def test_level_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
+        assert configured_level() == logging.DEBUG
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "not-a-level")
+        assert configured_level() == logging.WARNING
+        monkeypatch.delenv("REPRO_LOG_LEVEL")
+        assert configured_level() == logging.WARNING
+
+    def test_loggers_nest_under_repro_root(self):
+        log = get_logger("rpki.rtr")
+        assert log.name == "repro.rpki.rtr"
+        assert get_logger("repro.core").name == "repro.core"
+
+    def test_single_handler_installed(self):
+        get_logger("repro.a")
+        get_logger("repro.b")
+        assert len(logging.getLogger("repro").handlers) == 1
+
+    def test_formatter_renders_exceptions(self):
+        formatter = KeyValueFormatter()
+        try:
+            raise RuntimeError("bad")
+        except RuntimeError:
+            import sys
+
+            record = logging.LogRecord(
+                "repro", logging.ERROR, __file__, 1, "failed", (),
+                sys.exc_info(),
+            )
+        assert "RuntimeError: bad" in formatter.format(record)

@@ -1,0 +1,108 @@
+"""Span nesting, duration monotonicity, and collector behaviour."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import NULL_TRACER, NullTracer, TraceCollector
+
+
+class TestSpans:
+    def test_records_name_and_attributes(self):
+        tracer = TraceCollector()
+        with tracer.span("dns.resolve", name="example.org") as span:
+            pass
+        assert span.name == "dns.resolve"
+        assert span.attributes == {"name": "example.org"}
+        assert tracer.names() == ["dns.resolve"]
+
+    def test_duration_is_monotone_nonnegative(self):
+        tracer = TraceCollector()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.spans("outer")[0]
+        inner = tracer.spans("inner")[0]
+        assert inner.duration >= 0
+        assert outer.duration >= inner.duration
+        assert outer.end >= inner.end >= inner.start >= outer.start
+
+    def test_parent_child_nesting(self):
+        tracer = TraceCollector()
+        with tracer.span("study.run") as run:
+            with tracer.span("stage.dns") as dns:
+                pass
+            with tracer.span("stage.prefix") as prefix:
+                pass
+        assert run.parent_id is None
+        assert dns.parent_id == run.span_id
+        assert prefix.parent_id == run.span_id
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = TraceCollector()
+        with pytest.raises(ValueError):
+            with tracer.span("explodes"):
+                raise ValueError("boom")
+        span = tracer.spans("explodes")[0]
+        assert span.error == "ValueError: boom"
+        assert span.duration >= 0
+        assert tracer.aggregate()["explodes"].errors == 1
+
+    def test_name_keyword_attribute_does_not_collide(self):
+        tracer = TraceCollector()
+        with tracer.span("x", name="attr-value"):
+            pass
+        with NullTracer().span("x", name="attr-value"):
+            pass
+        assert tracer.spans("x")[0].attributes["name"] == "attr-value"
+
+
+class TestCollector:
+    def test_retention_bound_counts_drops(self):
+        tracer = TraceCollector(max_spans=2)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_aggregate_stats(self):
+        tracer = TraceCollector()
+        for _ in range(3):
+            with tracer.span("stage.dns"):
+                pass
+        stats = tracer.aggregate()["stage.dns"]
+        assert stats.count == 3
+        assert stats.total >= stats.max >= stats.mean >= stats.min >= 0
+
+    def test_json_dump_round_trips(self, tmp_path):
+        tracer = TraceCollector()
+        with tracer.span("study.run", domains=3):
+            with tracer.span("stage.dns"):
+                pass
+        path = tmp_path / "trace.json"
+        written = tracer.dump(path)
+        payload = json.loads(path.read_text())
+        assert written == 2
+        assert payload["dropped"] == 0
+        names = {span["name"] for span in payload["spans"]}
+        assert names == {"study.run", "stage.dns"}
+
+    def test_clear(self):
+        tracer = TraceCollector()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.aggregate() == {}
+
+
+class TestNullTracer:
+    def test_is_inert_and_shared(self):
+        entered = NULL_TRACER.span("anything", key="value")
+        with entered as span:
+            assert span is None
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.aggregate() == {}
+        assert not NULL_TRACER.enabled
