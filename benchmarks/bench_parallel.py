@@ -1,0 +1,89 @@
+"""Serial-vs-parallel wall-clock benchmark for the sharded executor.
+
+Builds one world, measures the study serially and through
+``repro.exec`` with N workers, verifies the two results are
+identical, and records both timings (plus the speedup) in
+``BENCH_parallel.json`` so future perf PRs have a baseline::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --domains 20000 --workers 4
+
+The speedup column is only meaningful on a machine with at least
+``--workers`` cores; ``cpu_count`` is recorded alongside so a 1-core
+CI box doesn't read as a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core import MeasurementStudy
+from repro.web import EcosystemConfig, WebEcosystem
+
+DEFAULT_OUT = Path(__file__).parent / "BENCH_parallel.json"
+
+
+def measure(study: MeasurementStudy, **run_kwargs):
+    started = time.perf_counter()
+    result = study.run(**run_kwargs)
+    return result, time.perf_counter() - started
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--domains", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--mode", default="process",
+                        choices=["serial", "thread", "process"])
+    parser.add_argument("--shard-size", type=int, default=None)
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args()
+
+    print(f"building world: {args.domains} domains, seed {args.seed} ...")
+    build_started = time.perf_counter()
+    world = WebEcosystem.build(
+        EcosystemConfig(domain_count=args.domains, seed=args.seed)
+    )
+    build_seconds = time.perf_counter() - build_started
+    study = MeasurementStudy.from_ecosystem(world)
+
+    print("serial run ...")
+    serial_result, serial_seconds = measure(study)
+    print(f"  {serial_seconds:.2f}s")
+
+    print(f"parallel run: {args.workers} workers, {args.mode} pool ...")
+    parallel_result, parallel_seconds = measure(
+        study,
+        workers=args.workers,
+        mode=args.mode,
+        shard_size=args.shard_size,
+    )
+    print(f"  {parallel_seconds:.2f}s")
+
+    identical = parallel_result == serial_result
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    record = {
+        "domains": args.domains,
+        "seed": args.seed,
+        "workers": args.workers,
+        "mode": args.mode,
+        "cpu_count": os.cpu_count(),
+        "build_seconds": round(build_seconds, 3),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(speedup, 3),
+        "results_identical": identical,
+    }
+    Path(args.out).write_text(json.dumps(record, indent=1) + "\n")
+    print(f"wrote {args.out}: speedup {speedup:.2f}x "
+          f"({'identical' if identical else 'MISMATCH'} results, "
+          f"{os.cpu_count()} cores)")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--figure", choices=["1", "2", "3", "4", "table1", "cdn-as"],
                      action="append", default=None,
                      help="restrict output (repeatable)")
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker count for the sharded executor "
+                          "(1 = classic serial loop)")
+    run.add_argument("--exec-mode", choices=["auto", "serial", "thread", "process"],
+                     default="auto",
+                     help="sharded-executor backend (auto: process pool "
+                          "when --workers > 1)")
+    run.add_argument("--shard-size", type=int, default=None,
+                     help="domains per shard (default: scaled to workers)")
     run.add_argument("--progress", action="store_true",
                      help="render a rate/ETA progress line on stderr")
     run.add_argument("--metrics-out", metavar="FILE", default=None,
@@ -113,8 +122,14 @@ def run_study(args: argparse.Namespace) -> int:
         print(f"  built in {time.time() - started:.1f}s: {world!r}")
         started = time.time()
         progress = obs.stderr_renderer() if args.progress else None
-        result = MeasurementStudy.from_ecosystem(world).run(progress=progress)
-        print(f"  measured in {time.time() - started:.1f}s")
+        result = MeasurementStudy.from_ecosystem(world).run(
+            progress=progress,
+            workers=args.workers,
+            mode=args.exec_mode,
+            shard_size=args.shard_size,
+        )
+        label = f" ({args.workers} workers)" if args.workers > 1 else ""
+        print(f"  measured in {time.time() - started:.1f}s{label}")
 
         stats = pipeline_statistics(result, registry=registry)
         print("\n== Section 4 statistics ==")

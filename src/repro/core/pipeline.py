@@ -158,6 +158,15 @@ class StudyResult:
             m.domain.name: m for m in measurements
         }
 
+    def __eq__(self, other: object) -> bool:
+        """Equal when measurements (in order) and statistics match."""
+        if not isinstance(other, StudyResult):
+            return NotImplemented
+        return (
+            self._measurements == other._measurements
+            and self.statistics == other.statistics
+        )
+
     def __len__(self) -> int:
         return len(self._measurements)
 
@@ -176,6 +185,82 @@ class StudyResult:
 
     def __repr__(self) -> str:
         return f"<StudyResult {len(self._measurements)} domains>"
+
+
+def measure_domain(
+    resolver: PublicResolver,
+    table_dump: TableDump,
+    payloads: ValidatedPayloads,
+    domain: Domain,
+) -> DomainMeasurement:
+    """Steps 2-4 for one domain (both name forms).
+
+    Module-level and free of study state so shard workers — including
+    process-pool workers, which need a picklable callable — run the
+    exact code path the serial loop runs.
+    """
+    www = _measure_form(resolver, table_dump, payloads, domain.www_name)
+    plain = _measure_form(resolver, table_dump, payloads, domain.name)
+    return DomainMeasurement(domain=domain, www=www, plain=plain)
+
+
+def _measure_form(
+    resolver: PublicResolver,
+    table_dump: TableDump,
+    payloads: ValidatedPayloads,
+    name: str,
+) -> NameMeasurement:
+    measurement = measure_name(resolver, name)
+    if measurement.resolved and measurement.addresses:
+        pairs = map_addresses(table_dump, measurement)
+        measurement.pairs = validate_pairs(payloads, pairs)
+    return measurement
+
+
+def accumulate_measurement(
+    stats: StudyStatistics, measurement: DomainMeasurement
+) -> None:
+    """Fold one domain's funnel contribution into ``stats``.
+
+    Also ticks the funnel counters of the *active* registry, so a
+    shard worker running under its own scoped registry records its
+    shard's share and nothing else.
+    """
+    counters = metrics()
+    www, plain = measurement.www, measurement.plain
+    resolved_forms = [form for form in (www, plain) if form.resolved]
+    if resolved_forms and all(
+        not form.addresses and form.excluded_special for form in resolved_forms
+    ):
+        stats.invalid_dns_domains += 1
+        counters.counter(
+            "ripki_invalid_dns_domains_total",
+            _STAT_HELP["ripki_invalid_dns_domains_total"],
+        ).inc()
+    stats.www_addresses += len(www.addresses)
+    stats.plain_addresses += len(plain.addresses)
+    stats.www_pairs += len(www.pairs)
+    stats.plain_pairs += len(plain.pairs)
+    addresses = counters.counter(
+        "ripki_addresses_total",
+        _STAT_HELP["ripki_addresses_total"],
+        labelnames=("form",),
+    )
+    pairs = counters.counter(
+        "ripki_pairs_total",
+        _STAT_HELP["ripki_pairs_total"],
+        labelnames=("form",),
+    )
+    addresses.labels(form="www").inc(len(www.addresses))
+    addresses.labels(form="plain").inc(len(plain.addresses))
+    pairs.labels(form="www").inc(len(www.pairs))
+    pairs.labels(form="plain").inc(len(plain.pairs))
+    # unreachable/AS_SET counters tick live inside step 3
+    # (prefix_mapping); only the plain-int stats accumulate here.
+    stats.unreachable_addresses += (
+        www.unreachable_addresses + plain.unreachable_addresses
+    )
+    stats.as_set_exclusions += www.as_set_excluded + plain.as_set_excluded
 
 
 class MeasurementStudy:
@@ -203,13 +288,55 @@ class MeasurementStudy:
             payloads=world.payloads(),
         )
 
-    def run(self, progress: Optional[ProgressSink] = None) -> StudyResult:
+    # The sharded executor (repro.exec) reads the study's parts to
+    # plan shards and ship them to workers.
+    @property
+    def ranking(self) -> AlexaRanking:
+        return self._ranking
+
+    @property
+    def resolver(self) -> PublicResolver:
+        return self._resolver
+
+    @property
+    def table_dump(self) -> TableDump:
+        return self._dump
+
+    @property
+    def payloads(self) -> ValidatedPayloads:
+        return self._payloads
+
+    def run(
+        self,
+        progress: Optional[ProgressSink] = None,
+        *,
+        workers: int = 1,
+        mode: str = "auto",
+        shard_size: Optional[int] = None,
+    ) -> StudyResult:
         """Execute steps 2-4 for every domain of the ranking.
 
         ``progress`` may be a :class:`ProgressReporter` or a bare
         callback (wrapped in one); it receives rate/ETA events while
         the funnel walks the ranking.
+
+        ``workers`` > 1 shards the ranking into contiguous rank
+        chunks and fans them out through :mod:`repro.exec`; ``mode``
+        picks the execution backend (``"auto"``, ``"serial"``,
+        ``"thread"``, or ``"process"``) and ``shard_size`` overrides
+        the shard granularity.  The result is identical to the serial
+        run whatever the backend.
         """
+        if workers > 1 or mode not in ("auto", "serial"):
+            from repro.exec import execute_study
+
+            return execute_study(
+                self,
+                workers=workers,
+                mode=mode,
+                shard_size=shard_size,
+                progress=progress,
+            )
         measurements: List[DomainMeasurement] = []
         stats = StudyStatistics(domain_count=len(self._ranking))
         reporter = self._make_reporter(progress)
@@ -225,7 +352,7 @@ class MeasurementStudy:
             for domain in domains:
                 measurement = self.measure_domain(domain)
                 measurements.append(measurement)
-                self._accumulate(stats, measurement)
+                accumulate_measurement(stats, measurement)
                 measured.inc()
                 if reporter is not None:
                     reporter.tick()
@@ -244,51 +371,11 @@ class MeasurementStudy:
 
     def measure_domain(self, domain: Domain) -> DomainMeasurement:
         """Steps 2-4 for one domain (both name forms)."""
-        www = self._measure_form(domain.www_name)
-        plain = self._measure_form(domain.name)
-        return DomainMeasurement(domain=domain, www=www, plain=plain)
+        return measure_domain(self._resolver, self._dump, self._payloads, domain)
 
     def _measure_form(self, name: str) -> NameMeasurement:
-        measurement = measure_name(self._resolver, name)
-        if measurement.resolved and measurement.addresses:
-            pairs = map_addresses(self._dump, measurement)
-            measurement.pairs = validate_pairs(self._payloads, pairs)
-        return measurement
+        """Steps 2-4 for a single name form (used by ContinuousStudy)."""
+        return _measure_form(self._resolver, self._dump, self._payloads, name)
 
-    @staticmethod
-    def _accumulate(stats: StudyStatistics, measurement: DomainMeasurement) -> None:
-        counters = metrics()
-        www, plain = measurement.www, measurement.plain
-        resolved_forms = [form for form in (www, plain) if form.resolved]
-        if resolved_forms and all(
-            not form.addresses and form.excluded_special for form in resolved_forms
-        ):
-            stats.invalid_dns_domains += 1
-            counters.counter(
-                "ripki_invalid_dns_domains_total",
-                _STAT_HELP["ripki_invalid_dns_domains_total"],
-            ).inc()
-        stats.www_addresses += len(www.addresses)
-        stats.plain_addresses += len(plain.addresses)
-        stats.www_pairs += len(www.pairs)
-        stats.plain_pairs += len(plain.pairs)
-        addresses = counters.counter(
-            "ripki_addresses_total",
-            _STAT_HELP["ripki_addresses_total"],
-            labelnames=("form",),
-        )
-        pairs = counters.counter(
-            "ripki_pairs_total",
-            _STAT_HELP["ripki_pairs_total"],
-            labelnames=("form",),
-        )
-        addresses.labels(form="www").inc(len(www.addresses))
-        addresses.labels(form="plain").inc(len(plain.addresses))
-        pairs.labels(form="www").inc(len(www.pairs))
-        pairs.labels(form="plain").inc(len(plain.pairs))
-        # unreachable/AS_SET counters tick live inside step 3
-        # (prefix_mapping); only the plain-int stats accumulate here.
-        stats.unreachable_addresses += (
-            www.unreachable_addresses + plain.unreachable_addresses
-        )
-        stats.as_set_exclusions += www.as_set_excluded + plain.as_set_excluded
+    # Backwards-compatible alias for the extracted accumulator.
+    _accumulate = staticmethod(accumulate_measurement)

@@ -145,7 +145,11 @@ class RecursiveResolver:
                 f"CNAME chain longer than {MAX_CHAIN_LENGTH} for {name!r}"
             )
         if not answer.addresses:
-            known = self._namespace.exists(name)
+            # The rcode belongs to the *final* name of the chain: a
+            # CNAME owner always exists, but a chain ending at a name
+            # with no records is NXDOMAIN (a dangling CNAME), exactly
+            # as a real recursive resolver reports it.
+            known = self._namespace.exists(answer.final_name)
             answer.rcode = RCode.NOERROR if known else RCode.NXDOMAIN
         counters = metrics()
         if counters.enabled:

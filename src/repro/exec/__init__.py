@@ -1,0 +1,41 @@
+"""Parallel sharded execution of the measurement study (``repro.exec``).
+
+The ROADMAP's production-scale pipeline walks the full top-1M as
+fast as the hardware allows.  This package supplies the execution
+engine: :func:`plan_shards` cuts an Alexa ranking into contiguous
+rank chunks, :func:`execute_study` fans steps 2-4 out to a worker
+pool (process, thread, or serial backend), and the merge layer folds
+per-shard statistics, metric registries, and trace spans back into
+one :class:`~repro.core.pipeline.StudyResult` that is bit-identical
+to the serial run.  Shard results cross the process boundary in the
+compact wire form of :mod:`repro.exec.codec`.
+"""
+
+from repro.exec.codec import decode_measurements, encode_measurements
+from repro.exec.executor import (
+    MODES,
+    ShardOutcome,
+    execute_study,
+    merge_statistics,
+    run_shard,
+)
+from repro.exec.sharding import (
+    MAX_SHARD_SIZE,
+    Shard,
+    default_shard_size,
+    plan_shards,
+)
+
+__all__ = [
+    "MAX_SHARD_SIZE",
+    "MODES",
+    "Shard",
+    "ShardOutcome",
+    "decode_measurements",
+    "default_shard_size",
+    "encode_measurements",
+    "execute_study",
+    "merge_statistics",
+    "plan_shards",
+    "run_shard",
+]

@@ -1,0 +1,314 @@
+"""Parallel execution of the four-step study over rank shards.
+
+:func:`execute_study` splits the ranking into contiguous shards,
+runs steps 2-4 for every shard on a worker pool, and merges the
+per-shard outcomes back into one :class:`StudyResult` that is
+bit-identical to the serial run:
+
+* **measurement order** — shards are contiguous rank chunks and the
+  merge concatenates them in shard order, so the measurement list is
+  the serial walk;
+* **statistics** — every :class:`StudyStatistics` field is an
+  integer sum over domains, so summing per-shard statistics in any
+  order reproduces the serial accumulation exactly;
+* **metrics** — each shard worker records into its own scoped
+  registry (:class:`repro.obs.runtime.thread_scope`); the per-shard
+  registries are merged into the caller's active registry, and all
+  funnel counters are integer-valued, so
+  ``pipeline_statistics(result, registry)`` cross-checks cleanly;
+* **trace spans** — per-shard collectors are grafted under the run's
+  root span via :meth:`TraceCollector.absorb`.
+
+Three backends share one shard-runner code path:
+
+* ``process`` — :class:`concurrent.futures.ProcessPoolExecutor`,
+  true parallelism; the study (resolver, table dump, payloads) is
+  shipped to each worker once via the pool initializer,
+* ``thread`` — :class:`~concurrent.futures.ThreadPoolExecutor`;
+  no pickling, workers share the study object.  The GIL serialises
+  the pure-Python funnel, so this backend exists for determinism
+  tests and for a future IO-bound (live DNS) resolver,
+* ``serial`` — the shard pipeline on the calling thread, for
+  debugging the sharded path itself.
+
+``auto`` resolves to ``process`` when ``workers > 1``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.pipeline import (
+    _STAT_HELP,
+    _register_funnel_counters,
+    MeasurementStudy,
+    ProgressSink,
+    StudyResult,
+    StudyStatistics,
+    accumulate_measurement,
+    measure_domain,
+)
+from repro.core.records import DomainMeasurement
+from repro.exec.codec import decode_measurements, encode_measurements
+from repro.exec.sharding import Shard, plan_shards
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressReporter
+from repro.obs.runtime import (
+    metrics,
+    observability_enabled,
+    thread_scope,
+    tracer,
+)
+from repro.obs.tracing import Span, TraceCollector
+
+MODES = ("auto", "serial", "thread", "process")
+
+# Deep v6 tries nest one node per prefix bit; give pickle headroom
+# when shipping the study to process workers.
+_PICKLE_RECURSION_LIMIT = 20_000
+
+
+@dataclass
+class ShardOutcome:
+    """Everything one shard run produced, ready to merge."""
+
+    index: int
+    measurements: List[DomainMeasurement]
+    statistics: StudyStatistics
+    metrics: Optional[MetricsRegistry] = None
+    spans: List[Span] = field(default_factory=list)
+    dropped_spans: int = 0
+
+
+def merge_statistics(parts) -> StudyStatistics:
+    """Sum per-shard statistics; every field is additive over domains."""
+    total = StudyStatistics()
+    for part in parts:
+        total.domain_count += part.domain_count
+        total.invalid_dns_domains += part.invalid_dns_domains
+        total.www_addresses += part.www_addresses
+        total.plain_addresses += part.plain_addresses
+        total.www_pairs += part.www_pairs
+        total.plain_pairs += part.plain_pairs
+        total.unreachable_addresses += part.unreachable_addresses
+        total.as_set_exclusions += part.as_set_exclusions
+    return total
+
+
+def run_shard(
+    study: MeasurementStudy, shard: Shard, observe: bool
+) -> ShardOutcome:
+    """Steps 2-4 for one shard, recorded into shard-local sinks.
+
+    When ``observe`` is set the shard gets a fresh registry and trace
+    collector installed thread-locally, so concurrent shards never
+    interleave into one instrument and the outcomes merge
+    deterministically in shard order.
+    """
+    registry = MetricsRegistry() if observe else None
+    collector = TraceCollector() if observe else None
+    measurements: List[DomainMeasurement] = []
+    stats = StudyStatistics(domain_count=len(shard))
+    with thread_scope(registry, collector):
+        counters = metrics()
+        if observe:
+            _register_funnel_counters(counters)
+        measured = counters.counter(
+            "ripki_domains_measured_total",
+            _STAT_HELP["ripki_domains_measured_total"],
+        )
+        with tracer().span(
+            "shard.run", shard=shard.index, domains=len(shard)
+        ):
+            for domain in shard.domains:
+                measurement = measure_domain(
+                    study.resolver, study.table_dump, study.payloads, domain
+                )
+                measurements.append(measurement)
+                accumulate_measurement(stats, measurement)
+                measured.inc()
+    return ShardOutcome(
+        index=shard.index,
+        measurements=measurements,
+        statistics=stats,
+        metrics=registry,
+        spans=collector.spans() if collector is not None else [],
+        dropped_spans=collector.dropped if collector is not None else 0,
+    )
+
+
+# -- process-pool plumbing ----------------------------------------------------
+
+# One study per worker process, installed by the pool initializer so
+# the (large) resolver/table-dump/payload state is pickled once per
+# worker instead of once per shard.
+_WORKER_STUDY: Optional[MeasurementStudy] = None
+_WORKER_OBSERVE: bool = False
+
+
+def _init_process_worker(study: MeasurementStudy, observe: bool) -> None:
+    global _WORKER_STUDY, _WORKER_OBSERVE
+    sys.setrecursionlimit(max(sys.getrecursionlimit(), _PICKLE_RECURSION_LIMIT))
+    _WORKER_STUDY = study
+    _WORKER_OBSERVE = observe
+
+
+def _process_shard(shard: Shard):
+    """Run one shard and return it in wire form.
+
+    Measurements go back to the parent through the codec
+    (:mod:`repro.exec.codec`) instead of as pickled record objects —
+    the parent deserialises results on one thread, and the compact
+    form halves that bottleneck.  Domains are re-attached parent-side
+    from the shard plan.
+    """
+    assert _WORKER_STUDY is not None, "worker initializer did not run"
+    outcome = run_shard(_WORKER_STUDY, shard, _WORKER_OBSERVE)
+    return (
+        outcome.index,
+        encode_measurements(outcome.measurements),
+        outcome.statistics,
+        outcome.metrics,
+        outcome.spans,
+        outcome.dropped_spans,
+    )
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+def execute_study(
+    study: MeasurementStudy,
+    workers: int = 1,
+    mode: str = "auto",
+    shard_size: Optional[int] = None,
+    progress: Optional[ProgressSink] = None,
+) -> StudyResult:
+    """Run the study sharded; the result equals the serial run's.
+
+    ``progress`` receives batched ticks — one ``tick(len(shard))``
+    per completed shard, in completion order.
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    workers = max(1, int(workers))
+    resolved = mode
+    if mode == "auto":
+        resolved = "process" if workers > 1 else "serial"
+
+    observe = observability_enabled()
+    registry = metrics()
+    trace = tracer()
+    if observe:
+        _register_funnel_counters(registry)
+
+    reporter = _make_reporter(progress, total=len(study.ranking))
+    ticker: Callable[[Shard], None] = (
+        (lambda shard: reporter.tick(len(shard)))
+        if reporter is not None
+        else (lambda shard: None)
+    )
+
+    with trace.span(
+        "study.run",
+        domains=len(study.ranking),
+        workers=workers,
+        mode=resolved,
+    ) as root:
+        with trace.span("stage.rank", domains=len(study.ranking)):
+            domains = list(study.ranking)
+        shards = plan_shards(domains, shard_size=shard_size, workers=workers)
+        if resolved == "serial":
+            outcomes = _run_serial(study, shards, observe, ticker)
+        elif resolved == "thread":
+            outcomes = _run_threaded(study, shards, observe, workers, ticker)
+        else:
+            outcomes = _run_processes(study, shards, observe, workers, ticker)
+        outcomes.sort(key=lambda outcome: outcome.index)
+        measurements = [
+            measurement
+            for outcome in outcomes
+            for measurement in outcome.measurements
+        ]
+        stats = merge_statistics(outcome.statistics for outcome in outcomes)
+        if observe:
+            parent_id = root.span_id if root is not None else None
+            for outcome in outcomes:
+                if outcome.metrics is not None and registry.enabled:
+                    registry.merge(outcome.metrics)
+                trace.absorb(
+                    outcome.spans,
+                    parent_id=parent_id,
+                    dropped=outcome.dropped_spans,
+                )
+    if reporter is not None:
+        reporter.done()
+    return StudyResult(measurements, stats)
+
+
+def _make_reporter(
+    progress: Optional[ProgressSink], total: int
+) -> Optional[ProgressReporter]:
+    if progress is None:
+        return None
+    if isinstance(progress, ProgressReporter):
+        return progress
+    return ProgressReporter(total=total, callback=progress)
+
+
+def _run_serial(study, shards, observe, ticker) -> List[ShardOutcome]:
+    outcomes = []
+    for shard in shards:
+        outcomes.append(run_shard(study, shard, observe))
+        ticker(shard)
+    return outcomes
+
+
+def _run_threaded(study, shards, observe, workers, ticker) -> List[ShardOutcome]:
+    outcomes: List[ShardOutcome] = []
+    with concurrent.futures.ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="ripki-shard"
+    ) as pool:
+        futures = {
+            pool.submit(run_shard, study, shard, observe): shard
+            for shard in shards
+        }
+        for future in concurrent.futures.as_completed(futures):
+            outcomes.append(future.result())
+            ticker(futures[future])
+    return outcomes
+
+
+def _run_processes(study, shards, observe, workers, ticker) -> List[ShardOutcome]:
+    previous_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(previous_limit, _PICKLE_RECURSION_LIMIT))
+    outcomes: List[ShardOutcome] = []
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_process_worker,
+            initargs=(study, observe),
+        ) as pool:
+            futures = {
+                pool.submit(_process_shard, shard): shard for shard in shards
+            }
+            for future in concurrent.futures.as_completed(futures):
+                shard = futures[future]
+                index, encoded, stats, registry, spans, dropped = future.result()
+                outcomes.append(
+                    ShardOutcome(
+                        index=index,
+                        measurements=decode_measurements(encoded, shard.domains),
+                        statistics=stats,
+                        metrics=registry,
+                        spans=spans,
+                        dropped_spans=dropped,
+                    )
+                )
+                ticker(shard)
+    finally:
+        sys.setrecursionlimit(previous_limit)
+    return outcomes

@@ -154,8 +154,8 @@ class PrefixTrie(Generic[V]):
             ).labels(op="exact").inc()
         return self._tries[prefix.family].exact(prefix)
 
-    def covering(self, target: Union[Address, Prefix]) -> List[Tuple[Prefix, V]]:
-        """All stored prefixes covering ``target``, shortest first."""
+    def _covering(self, target: Union[Address, Prefix]) -> List[Tuple[Prefix, V]]:
+        """Uninstrumented covering walk shared by the public lookups."""
         if isinstance(target, Address):
             target = target.to_prefix()
         trie = self._tries[target.family]
@@ -164,33 +164,39 @@ class PrefixTrie(Generic[V]):
             prefix = target.supernet(length)
             for value in values:
                 results.append((prefix, value))
+        return results
+
+    def _record_lookup(self, op: str, results: List[Tuple[Prefix, V]]) -> None:
+        """Count one logical lookup: op counter, matches, miss."""
         counters = metrics()
-        if counters.enabled:
+        if not counters.enabled:
+            return
+        counters.counter(
+            "ripki_trie_lookups_total", _LOOKUP_HELP, labelnames=("op",)
+        ).labels(op=op).inc()
+        counters.histogram(
+            "ripki_trie_covering_matches",
+            "Covering prefixes found per lookup",
+            buckets=_MATCH_BUCKETS,
+        ).observe(len(results))
+        if not results:
             counters.counter(
-                "ripki_trie_lookups_total", _LOOKUP_HELP, labelnames=("op",)
-            ).labels(op="covering").inc()
-            counters.histogram(
-                "ripki_trie_covering_matches",
-                "Covering prefixes found per lookup",
-                buckets=_MATCH_BUCKETS,
-            ).observe(len(results))
-            if not results:
-                counters.counter(
-                    "ripki_trie_misses_total",
-                    "Lookups finding no covering prefix",
-                ).inc()
+                "ripki_trie_misses_total",
+                "Lookups finding no covering prefix",
+            ).inc()
+
+    def covering(self, target: Union[Address, Prefix]) -> List[Tuple[Prefix, V]]:
+        """All stored prefixes covering ``target``, shortest first."""
+        results = self._covering(target)
+        self._record_lookup("covering", results)
         return results
 
     def lookup_longest(
         self, target: Union[Address, Prefix]
     ) -> Optional[Tuple[Prefix, List[V]]]:
         """Longest-prefix match; None when nothing covers ``target``."""
-        counters = metrics()
-        if counters.enabled:
-            counters.counter(
-                "ripki_trie_lookups_total", _LOOKUP_HELP, labelnames=("op",)
-            ).labels(op="longest").inc()
-        matches = self.covering(target)
+        matches = self._covering(target)
+        self._record_lookup("longest", matches)
         if not matches:
             return None
         longest = matches[-1][0]

@@ -26,6 +26,7 @@ from repro.obs.metrics import (
     MetricError,
     MetricsRegistry,
     NullRegistry,
+    merge_registries,
 )
 from repro.obs.progress import (
     CaptureProgress,
@@ -45,6 +46,7 @@ from repro.obs.runtime import (
     metrics,
     observability_enabled,
     scope,
+    thread_scope,
     tracer,
 )
 from repro.obs.tracing import (
@@ -76,11 +78,13 @@ __all__ = [
     "enable",
     "get_logger",
     "kv",
+    "merge_registries",
     "metrics",
     "observability_enabled",
     "reset_logging",
     "scope",
     "stage_timing_report",
+    "thread_scope",
     "stderr_renderer",
     "timing_summary",
     "timing_table",

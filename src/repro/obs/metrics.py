@@ -107,6 +107,9 @@ class Counter(_Metric):
             raise MetricError(f"counter {self.name} cannot decrease")
         self._value += amount
 
+    def _absorb(self, other: "Counter") -> None:
+        self._value += other._value
+
     @property
     def value(self) -> Number:
         self._require_leaf()
@@ -131,6 +134,12 @@ class Gauge(_Metric):
     def dec(self, amount: Number = 1) -> None:
         self._require_leaf()
         self._value -= amount
+
+    def _absorb(self, other: "Gauge") -> None:
+        # Gauges merge additively: shard-local table sizes / depths
+        # sum to the whole; point-in-time gauges should be set after
+        # the merge by whoever owns them.
+        self._value += other._value
 
     @property
     def value(self) -> Number:
@@ -176,6 +185,17 @@ class Histogram(_Metric):
                 self._counts[index] += 1
                 return
         self._counts[-1] += 1
+
+    def _absorb(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise MetricError(
+                f"histogram {self.name} bucket mismatch: "
+                f"{other.buckets} != {self.buckets}"
+            )
+        for index, count in enumerate(other._counts):
+            self._counts[index] += count
+        self._sum += other._sum
+        self._count += other._count
 
     @property
     def count(self) -> int:
@@ -286,6 +306,39 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold every series of ``other`` into this registry.
+
+        Counters and gauges add their values, histograms add their
+        bucket counts/sums; series present only in ``other`` are
+        created (including zero-valued ones, so pre-registered funnel
+        series survive the merge).  A name registered with a
+        different kind, label set, or bucket layout raises
+        :class:`MetricError`.  Returns ``self`` so merges chain.
+        """
+        for name in other.names():
+            theirs = other.get(name)
+            if isinstance(theirs, Histogram):
+                mine = self.histogram(
+                    name, theirs.help, theirs.labelnames, buckets=theirs.buckets
+                )
+            elif isinstance(theirs, Counter):
+                mine = self.counter(name, theirs.help, theirs.labelnames)
+            elif isinstance(theirs, Gauge):
+                mine = self.gauge(name, theirs.help, theirs.labelnames)
+            else:
+                raise MetricError(
+                    f"cannot merge metric {name!r} of kind {theirs.kind!r}"
+                )
+            for key, child in theirs.series():
+                target = mine
+                if theirs.labelnames:
+                    target = mine.labels(**dict(zip(theirs.labelnames, key)))
+                target._absorb(child)
+        return self
+
     # -- exposition --------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
@@ -378,6 +431,21 @@ class NullRegistry:
 NULL_REGISTRY = NullRegistry()
 
 AnyRegistry = Union[MetricsRegistry, NullRegistry]
+
+
+def merge_registries(
+    registries: Iterable[MetricsRegistry],
+    into: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Merge ``registries`` (in order) into one registry.
+
+    ``into`` is the target (a fresh registry when omitted); the
+    sources are left untouched.
+    """
+    target = into if into is not None else MetricsRegistry()
+    for registry in registries:
+        target.merge(registry)
+    return target
 
 
 def _fmt(value: Number) -> str:

@@ -14,6 +14,7 @@ final event is always delivered via :meth:`done` with
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional
@@ -54,7 +55,14 @@ ProgressCallback = Callable[[ProgressEvent], None]
 
 
 class ProgressReporter:
-    """Counts ticks and emits throttled :class:`ProgressEvent`\\ s."""
+    """Counts ticks and emits throttled :class:`ProgressEvent`\\ s.
+
+    Thread-safe: shard workers may call :meth:`tick` concurrently
+    (every mutation happens under one lock), and batched ticks —
+    ``tick(n)`` with ``n > 1``, as a completed shard reports — fire
+    the stride cadence whenever the count *crosses* a multiple of
+    ``every``, not only when it lands exactly on one.
+    """
 
     def __init__(
         self,
@@ -74,27 +82,33 @@ class ProgressReporter:
         self._clock = clock
         self._started = clock()
         self._last_emit = self._started
+        self._last_bucket = 0
         self._emitted = 0
         self._finished = False
+        self._lock = threading.Lock()
 
     def tick(self, n: int = 1) -> None:
         """Record ``n`` completed items; emit if the cadence says so."""
-        self.count += n
-        now = self._clock()
-        due_by_stride = self._every and self.count % self._every == 0
-        due_by_time = (
-            self._min_interval >= 0
-            and now - self._last_emit >= self._min_interval
-        )
-        if due_by_stride or due_by_time:
-            self._emit(now, finished=False)
+        with self._lock:
+            self.count += n
+            now = self._clock()
+            due_by_stride = (
+                self._every and self.count // self._every > self._last_bucket
+            )
+            due_by_time = (
+                self._min_interval >= 0
+                and now - self._last_emit >= self._min_interval
+            )
+            if due_by_stride or due_by_time:
+                self._emit(now, finished=False)
 
     def done(self) -> None:
         """Emit the final event (idempotent)."""
-        if self._finished:
-            return
-        self._finished = True
-        self._emit(self._clock(), finished=True)
+        with self._lock:
+            if self._finished:
+                return
+            self._finished = True
+            self._emit(self._clock(), finished=True)
 
     @property
     def emitted(self) -> int:
@@ -109,6 +123,8 @@ class ProgressReporter:
         if rate > 0 and remaining >= 0:
             eta = remaining / rate
         self._last_emit = now
+        if self._every:
+            self._last_bucket = self.count // self._every
         self._emitted += 1
         self._callback(
             ProgressEvent(

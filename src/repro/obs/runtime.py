@@ -16,10 +16,19 @@ The CLI (or a test) turns collection on around a run::
         disable()
 
 :class:`scope` does the same as a context manager.
+
+The process-wide pair can be overridden *per thread* with
+:class:`thread_scope`: the sharded study executor gives every shard
+worker its own registry/tracer so concurrent shards never contend on
+(or interleave into) one instrument, then merges the per-shard
+registries back into the process-wide one.  :func:`metrics` and
+:func:`tracer` check the thread-local slot first; the common
+single-threaded path pays one extra ``getattr`` with a default.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Tuple, Union
 
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
@@ -31,19 +40,23 @@ TracerLike = Union[TraceCollector, NullTracer]
 _registry: RegistryLike = NULL_REGISTRY
 _tracer: TracerLike = NULL_TRACER
 
+_local = threading.local()
+
 
 def metrics() -> RegistryLike:
     """The active metrics registry (null when disabled)."""
-    return _registry
+    override = getattr(_local, "registry", None)
+    return override if override is not None else _registry
 
 
 def tracer() -> TracerLike:
     """The active trace collector (null when disabled)."""
-    return _tracer
+    override = getattr(_local, "tracer", None)
+    return override if override is not None else _tracer
 
 
 def observability_enabled() -> bool:
-    return _registry.enabled or _tracer.enabled
+    return metrics().enabled or tracer().enabled
 
 
 def enable(
@@ -84,4 +97,41 @@ class scope:
         global _registry, _tracer
         assert self._previous is not None
         _registry, _tracer = self._previous
+        return False
+
+
+class thread_scope:
+    """Thread-local override of the active registry/tracer.
+
+    ``with thread_scope(registry, collector): ...`` routes every
+    :func:`metrics`/:func:`tracer` call *from the current thread* to
+    the given pair, leaving other threads (and the process-wide
+    default) untouched.  Overrides nest; ``None`` slots fall back to
+    the null implementations so a worker can opt out of collection
+    entirely regardless of the process-wide state.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[RegistryLike] = None,
+        trace_collector: Optional[TracerLike] = None,
+    ):
+        self._registry = registry if registry is not None else NULL_REGISTRY
+        self._tracer = (
+            trace_collector if trace_collector is not None else NULL_TRACER
+        )
+        self._previous: Optional[Tuple[object, object]] = None
+
+    def __enter__(self) -> Tuple[RegistryLike, TracerLike]:
+        self._previous = (
+            getattr(_local, "registry", None),
+            getattr(_local, "tracer", None),
+        )
+        _local.registry = self._registry
+        _local.tracer = self._tracer
+        return self._registry, self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self._previous is not None
+        _local.registry, _local.tracer = self._previous
         return False

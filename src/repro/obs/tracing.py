@@ -27,7 +27,7 @@ import itertools
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 DEFAULT_MAX_SPANS = 250_000
 
@@ -150,6 +150,52 @@ class TraceCollector:
         else:
             self.dropped += 1
 
+    # -- merging -----------------------------------------------------------
+
+    def absorb(
+        self,
+        spans: "Iterable[Span]",
+        parent_id: Optional[int] = None,
+        dropped: int = 0,
+    ) -> int:
+        """Graft foreign spans (e.g. a shard worker's) into this trace.
+
+        Every span is re-identified from this collector's id sequence
+        so ids never collide; parent/child links *within* the batch
+        are preserved, and spans whose parent is not part of the batch
+        are re-rooted under ``parent_id`` (usually the merging run's
+        own span).  ``dropped`` carries the source collector's
+        overflow count forward.  Returns the number of spans kept.
+        """
+        # Spans arrive in completion order (children before their
+        # parents), so assign every new id first, then link.
+        batch = list(spans)
+        id_map: Dict[int, int] = {
+            span.span_id: next(self._ids) for span in batch
+        }
+        kept = 0
+        for span in batch:
+            grafted = Span(
+                name=span.name,
+                span_id=id_map[span.span_id],
+                parent_id=(
+                    id_map.get(span.parent_id, parent_id)
+                    if span.parent_id is not None
+                    else parent_id
+                ),
+                attributes=dict(span.attributes),
+                start=span.start,
+                end=span.end,
+                error=span.error,
+            )
+            if len(self._spans) < self._max_spans:
+                self._spans.append(grafted)
+                kept += 1
+            else:
+                self.dropped += 1
+        self.dropped += dropped
+        return kept
+
     # -- access ------------------------------------------------------------
 
     def spans(self, name: Optional[str] = None) -> List[Span]:
@@ -218,6 +264,9 @@ class NullTracer:
 
     def span(self, name: str, /, **attributes: object) -> _NullSpan:
         return _NULL_SPAN
+
+    def absorb(self, spans, parent_id=None, dropped: int = 0) -> int:
+        return 0
 
     def spans(self, name: Optional[str] = None) -> List[Span]:
         return []

@@ -132,10 +132,29 @@ class TestResolver:
         assert not answer.ok()
 
     def test_name_without_addresses_is_noerror(self, ns):
-        ns.add_cname("alias.com", "empty.example")
-        ns.add_cname("empty.example", "reallyempty.example")
-        answer = RecursiveResolver(ns).resolve("alias.com")
-        assert answer.rcode is RCode.NOERROR  # name exists, no A data
+        ns.add_cname("alias.com", "v6only.example")
+        ns.add_address("v6only.example", "2001:db8::6")
+        answer = RecursiveResolver(ns).resolve("alias.com", [RecordType.A])
+        assert answer.rcode is RCode.NOERROR  # final name exists, no A data
+        assert not answer.ok()
+
+    def test_dangling_cname_is_nxdomain(self, ns):
+        # Chain of length 1 ending at a name that owns no records.
+        ns.add_cname("gone.com", "missing-target.example")
+        answer = RecursiveResolver(ns).resolve("gone.com")
+        assert answer.rcode is RCode.NXDOMAIN
+        assert answer.cname_count == 1
+        assert not answer.ok()
+
+    def test_dangling_cname_chain_is_nxdomain(self, ns):
+        # Chain of length > 1: every intermediate owner exists, the
+        # terminal target does not — the rcode follows the final name.
+        ns.add_cname("deep.com", "hop1.example")
+        ns.add_cname("hop1.example", "hop2.example")
+        answer = RecursiveResolver(ns).resolve("deep.com")
+        assert answer.rcode is RCode.NXDOMAIN
+        assert answer.cname_chain == ["hop1.example", "hop2.example"]
+        assert answer.final_name == "hop2.example"
         assert not answer.ok()
 
     def test_cname_loop_detected(self, ns):

@@ -73,12 +73,27 @@ class TestTrieCounters:
             trie.covering(Address.parse("192.0.2.1"))  # miss
             lookups = registry.get("ripki_trie_lookups_total")
             assert lookups.labels(op="exact").value == 1
-            # lookup_longest delegates to covering, so covering == 3.
-            assert lookups.labels(op="covering").value == 3
+            # Each public call records exactly one lookup: the two
+            # explicit covering() calls and the one lookup_longest().
+            assert lookups.labels(op="covering").value == 2
             assert lookups.labels(op="longest").value == 1
             assert registry.get("ripki_trie_misses_total").value == 1
             histogram = registry.get("ripki_trie_covering_matches")
             assert histogram.count == 3
+
+    def test_lookup_longest_counts_once(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "value")
+        with obs.scope() as (registry, _tracer):
+            trie.lookup_longest(Address.parse("10.9.9.9"))
+            trie.lookup_longest(Address.parse("192.0.2.1"))  # miss
+            lookups = registry.get("ripki_trie_lookups_total")
+            assert lookups.labels(op="longest").value == 2
+            assert lookups.series() == [
+                (("longest",), lookups.labels(op="longest")),
+            ]
+            assert registry.get("ripki_trie_misses_total").value == 1
+            assert registry.get("ripki_trie_covering_matches").count == 2
 
     def test_disabled_trie_pays_nothing(self):
         trie = PrefixTrie()
@@ -177,6 +192,57 @@ class TestDumpCounters:
             assert registry.get("ripki_dump_rows_written_total").value == 1
             assert registry.get("ripki_dump_rows_read_total").value == 1
             assert {"dump.write", "dump.read"} <= set(collector.names())
+
+
+class TestThreadScope:
+    """Thread-local registry overrides used by the shard executor."""
+
+    def test_override_shadows_global_scope(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "value")
+        with obs.scope() as (outer, _tracer):
+            local = obs.MetricsRegistry()
+            with obs.thread_scope(local):
+                trie.covering(Address.parse("10.0.0.1"))
+            trie.covering(Address.parse("10.0.0.2"))
+        lookups = "ripki_trie_lookups_total"
+        assert local.get(lookups).labels(op="covering").value == 1
+        assert outer.get(lookups).labels(op="covering").value == 1
+
+    def test_none_falls_back_to_null(self):
+        with obs.scope() as (_registry, _tracer):
+            with obs.thread_scope():
+                assert not obs.observability_enabled()
+                assert obs.metrics().get("anything") is None
+            assert obs.observability_enabled()
+
+    def test_overrides_are_per_thread(self):
+        import threading
+
+        with obs.scope() as (outer, _tracer):
+            seen = {}
+
+            def worker():
+                local = obs.MetricsRegistry()
+                with obs.thread_scope(local):
+                    obs.metrics().counter("ripki_worker_total").inc()
+                    seen["worker"] = obs.metrics()
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert seen["worker"] is not outer
+            assert obs.metrics() is outer
+            assert outer.get("ripki_worker_total") is None
+            assert seen["worker"].get("ripki_worker_total").value == 1
+
+    def test_overrides_nest(self):
+        first, second = obs.MetricsRegistry(), obs.MetricsRegistry()
+        with obs.thread_scope(first):
+            with obs.thread_scope(second):
+                assert obs.metrics() is second
+            assert obs.metrics() is first
+        assert obs.metrics() is obs.NULL_REGISTRY
 
 
 class TestStatisticsSourceOfTruth:

@@ -10,6 +10,7 @@ from repro.obs.metrics import (
     MetricError,
     MetricsRegistry,
     NullRegistry,
+    merge_registries,
 )
 
 
@@ -188,3 +189,81 @@ class TestNullRegistry:
 
     def test_shared_singleton(self):
         assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+
+
+class TestMerge:
+    """Registry merging, the backbone of the sharded executor."""
+
+    def _shard_registry(self, measured, www):
+        registry = MetricsRegistry()
+        registry.counter("ripki_domains_measured_total", "help").inc(measured)
+        registry.counter(
+            "ripki_addresses_total", "help", labelnames=("form",)
+        ).labels(form="www").inc(www)
+        registry.histogram(
+            "ripki_hops", "help", buckets=(1, 2, 4)
+        ).observe(www)
+        return registry
+
+    def test_counters_add(self):
+        merged = merge_registries(
+            [self._shard_registry(3, 1), self._shard_registry(4, 2)]
+        )
+        assert merged.get("ripki_domains_measured_total").value == 7
+        addresses = merged.get("ripki_addresses_total")
+        assert addresses.labels(form="www").value == 3
+
+    def test_histograms_add_buckets_and_sums(self):
+        merged = merge_registries(
+            [self._shard_registry(1, 1), self._shard_registry(1, 4)]
+        )
+        histogram = merged.get("ripki_hops")
+        assert histogram.count == 2
+        assert histogram.sum == 5
+        assert histogram.bucket_counts() == [
+            (1, 1), (2, 1), (4, 2), (float("inf"), 2),
+        ]
+
+    def test_gauges_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("ripki_depth").set(2)
+        b.gauge("ripki_depth").set(5)
+        assert a.merge(b).get("ripki_depth").value == 7
+
+    def test_zero_valued_series_survive(self):
+        source = MetricsRegistry()
+        counter = source.counter("ripki_x_total", "h", labelnames=("form",))
+        counter.labels(form="www")  # registered, never incremented
+        merged = merge_registries([source])
+        assert merged.get("ripki_x_total").labels(form="www").value == 0
+
+    def test_merge_into_existing_target(self):
+        target = MetricsRegistry()
+        target.counter("ripki_domains_measured_total", "help").inc(10)
+        merge_registries([self._shard_registry(5, 0)], into=target)
+        assert target.get("ripki_domains_measured_total").value == 15
+
+    def test_sources_unchanged(self):
+        source = self._shard_registry(3, 1)
+        merge_registries([source, self._shard_registry(1, 1)])
+        assert source.get("ripki_domains_measured_total").value == 3
+
+    def test_kind_clash_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("ripki_x")
+        b.gauge("ripki_x")
+        with pytest.raises(MetricError):
+            a.merge(b)
+
+    def test_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("ripki_h", buckets=(1, 2))
+        b.histogram("ripki_h", buckets=(1, 2, 3)).observe(1)
+        with pytest.raises(MetricError):
+            a.merge(b)
+
+    def test_merge_order_is_associative_for_int_series(self):
+        shards = [self._shard_registry(i, i) for i in (1, 2, 3)]
+        forward = merge_registries(shards).snapshot()
+        backward = merge_registries(list(reversed(shards))).snapshot()
+        assert forward == backward

@@ -84,6 +84,68 @@ class TestProgressCadence:
         with pytest.raises(ValueError):
             ProgressReporter(total=-1, callback=lambda event: None)
 
+
+class TestBatchedTicks:
+    """tick(n) with n > 1 — the cadence shard completions exercise."""
+
+    def _reporter(self, capture, total=100, every=10):
+        return ProgressReporter(
+            total=total, callback=capture, every=every, min_interval=-1,
+            clock=FakeClock(),
+        )
+
+    def test_batch_crossing_no_boundary_stays_silent(self):
+        capture = CaptureProgress()
+        reporter = self._reporter(capture)
+        reporter.tick(4)   # count 4, no multiple of 10 crossed
+        reporter.tick(5)   # count 9, still none
+        assert capture.events == []
+
+    def test_batch_jumping_over_boundary_fires(self):
+        capture = CaptureProgress()
+        reporter = self._reporter(capture)
+        reporter.tick(9)
+        reporter.tick(4)   # count 13 crosses 10 without landing on it
+        assert [event.count for event in capture.events] == [13]
+
+    def test_batch_crossing_two_boundaries_fires_once(self):
+        capture = CaptureProgress()
+        reporter = self._reporter(capture)
+        reporter.tick(25)  # crosses 10 and 20 in one batch
+        assert [event.count for event in capture.events] == [25]
+        reporter.tick(4)   # count 29: bucket unchanged, no event
+        assert len(capture.events) == 1
+        reporter.tick(2)   # count 31: bucket advanced again
+        assert [event.count for event in capture.events] == [25, 31]
+
+    def test_exact_boundary_still_fires(self):
+        capture = CaptureProgress()
+        reporter = self._reporter(capture)
+        reporter.tick(10)
+        assert [event.count for event in capture.events] == [10]
+
+    def test_concurrent_ticks_count_everything(self):
+        import threading
+
+        capture = CaptureProgress()
+        reporter = ProgressReporter(
+            total=4000, callback=capture, every=100, min_interval=-1,
+        )
+        threads = [
+            threading.Thread(
+                target=lambda: [reporter.tick(5) for _ in range(200)]
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        reporter.done()
+        assert reporter.count == 4000
+        assert capture.events[-1].count == 4000
+        assert capture.events[-1].finished
+
     def test_render_lines(self):
         running = ProgressEvent(
             count=500, total=1000, elapsed=2.0, rate=250.0, eta=2.0

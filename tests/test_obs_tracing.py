@@ -97,6 +97,60 @@ class TestCollector:
         assert tracer.aggregate() == {}
 
 
+class TestAbsorb:
+    """Grafting shard-worker spans into the merging collector."""
+
+    def _shard_trace(self):
+        shard = TraceCollector()
+        with shard.span("shard.run", shard=0):
+            with shard.span("stage.dns"):
+                pass
+        return shard
+
+    def test_spans_are_reidentified(self):
+        main = TraceCollector()
+        with main.span("study.run"):
+            pass
+        shard = self._shard_trace()
+        kept = main.absorb(shard.spans())
+        assert kept == 2
+        ids = [span.span_id for span in main.spans()]
+        assert len(ids) == len(set(ids))
+
+    def test_internal_parent_links_preserved(self):
+        main = TraceCollector()
+        main.absorb(self._shard_trace().spans())
+        by_name = {span.name: span for span in main.spans()}
+        assert by_name["stage.dns"].parent_id == by_name["shard.run"].span_id
+
+    def test_orphans_rerooted_under_parent(self):
+        main = TraceCollector()
+        with main.span("study.run") as root:
+            pass
+        main.absorb(self._shard_trace().spans(), parent_id=root.span_id)
+        shard_root = main.spans("shard.run")[0]
+        assert shard_root.parent_id == root.span_id
+
+    def test_durations_and_attributes_copied(self):
+        shard = self._shard_trace()
+        original = shard.spans("shard.run")[0]
+        main = TraceCollector()
+        main.absorb(shard.spans())
+        grafted = main.spans("shard.run")[0]
+        assert grafted.duration == original.duration
+        assert grafted.attributes == {"shard": 0}
+        assert grafted.attributes is not original.attributes
+
+    def test_absorb_respects_retention_and_dropped(self):
+        main = TraceCollector(max_spans=1)
+        main.absorb(self._shard_trace().spans(), dropped=5)
+        assert len(main) == 1
+        assert main.dropped == 1 + 5
+
+    def test_null_tracer_absorbs_nothing(self):
+        assert NULL_TRACER.absorb([1, 2, 3]) == 0
+
+
 class TestNullTracer:
     def test_is_inert_and_shared(self):
         entered = NULL_TRACER.span("anything", key="value")
