@@ -19,7 +19,8 @@ Quickstart::
     print(fig2["valid"].head_mean(10), fig2["valid"].tail_mean(10))
 """
 
-from repro.core import MeasurementStudy, StudyResult
+from repro.core import MeasurementStudy, RunConfig, StudyResult
+from repro.errors import ReproError, RetryExhausted, TransientFault
 from repro.web import EcosystemConfig, WebEcosystem
 
 __version__ = "1.0.0"
@@ -27,7 +28,11 @@ __version__ = "1.0.0"
 __all__ = [
     "EcosystemConfig",
     "MeasurementStudy",
+    "ReproError",
+    "RetryExhausted",
+    "RunConfig",
     "StudyResult",
+    "TransientFault",
     "WebEcosystem",
     "__version__",
 ]

@@ -7,6 +7,7 @@ dumps, and the prefix-hijack attacker model of Section 2.3.
 """
 
 from repro.bgp.aspath import ASPath, Segment, SegmentType
+from repro.errors import ReproError
 from repro.bgp.collector import RouteCollector, TableDump, TableDumpEntry
 from repro.bgp.errors import BGPError, TopologyError
 from repro.bgp.hijack import HijackOutcome, HijackScenario
@@ -26,6 +27,7 @@ __all__ = [
     "HijackScenario",
     "PropagationEngine",
     "Relationship",
+    "ReproError",
     "RibEntry",
     "RouteClass",
     "RouteCollector",

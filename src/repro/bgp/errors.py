@@ -1,7 +1,9 @@
 """Exception hierarchy for the BGP substrate."""
 
+from repro.errors import ReproError
 
-class BGPError(Exception):
+
+class BGPError(ReproError):
     """Base class for BGP failures."""
 
 

@@ -15,6 +15,7 @@ from typing import List, Optional
 from repro.analysis import TextTable
 from repro.core import (
     MeasurementStudy,
+    RunConfig,
     cdn_as_report,
     figure1_www_overlap,
     figure2_rpki_outcome,
@@ -24,6 +25,7 @@ from repro.core import (
     table1_top_covered,
 )
 from repro.core.reports import render_table1
+from repro.faults import PROFILES, FaultPlan, RetryPolicy
 from repro.web import EcosystemConfig, HTTPArchiveClassifier, WebEcosystem
 
 
@@ -51,6 +53,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "when --workers > 1)")
     run.add_argument("--shard-size", type=int, default=None,
                      help="domains per shard (default: scaled to workers)")
+    run.add_argument("--fault-profile", choices=sorted(PROFILES), default=None,
+                     help="inject deterministic substrate faults "
+                          "(seeded from --seed; degraded domains are "
+                          "reported, not fatal)")
+    run.add_argument("--retries", type=int, default=3,
+                     help="attempts per funnel stage before a domain "
+                          "degrades (fault runs only)")
+    run.add_argument("--retry-backoff", type=float, default=0.05,
+                     help="base backoff seconds between attempts "
+                          "(accounted deterministically, never slept)")
     run.add_argument("--progress", action="store_true",
                      help="render a rate/ETA progress line on stderr")
     run.add_argument("--metrics-out", metavar="FILE", default=None,
@@ -122,12 +134,20 @@ def run_study(args: argparse.Namespace) -> int:
         print(f"  built in {time.time() - started:.1f}s: {world!r}")
         started = time.time()
         progress = obs.stderr_renderer() if args.progress else None
-        result = MeasurementStudy.from_ecosystem(world).run(
-            progress=progress,
+        faults = None
+        if args.fault_profile:
+            faults = FaultPlan.from_profile(args.fault_profile, seed=args.seed)
+        config = RunConfig(
             workers=args.workers,
             mode=args.exec_mode,
             shard_size=args.shard_size,
+            retry=RetryPolicy(
+                max_attempts=args.retries, backoff_base=args.retry_backoff
+            ),
+            faults=faults,
+            progress=progress,
         )
+        result = MeasurementStudy.from_ecosystem(world).run(config=config)
         label = f" ({args.workers} workers)" if args.workers > 1 else ""
         print(f"  measured in {time.time() - started:.1f}s{label}")
 
@@ -135,6 +155,17 @@ def run_study(args: argparse.Namespace) -> int:
         print("\n== Section 4 statistics ==")
         for key, value in stats.items():
             print(f"  {key}: {value}")
+
+        if faults is not None:
+            s = result.statistics
+            print(f"\n== Resilience under '{args.fault_profile}' faults ==")
+            print(f"  plan: {faults.describe()}")
+            print(obs.degradation_report(
+                s.degraded_domains,
+                s.retries_total,
+                s.faults_by_kind,
+                s.domain_count,
+            ))
 
         _render_figures(args, wanted, world, result)
 

@@ -19,7 +19,13 @@ from repro.core.cdn_asns import CDNASReport, spot_cdn_ases
 from repro.core.cdn_detection import ChainHeuristic
 from repro.core.continuous import ContinuousStudy, compare_results
 from repro.core.exposure import ExposureReport, analyse_exposure
-from repro.core.pipeline import MeasurementStudy, StudyResult
+from repro.core.pipeline import (
+    MeasurementStudy,
+    RunConfig,
+    StudyResult,
+    StudyStatistics,
+)
+from repro.core.resilience import ResilientFunnel
 from repro.core.transparency import TransparencyReport, audit_domain
 from repro.core.records import DomainMeasurement, NameMeasurement, PrefixOriginPair
 from repro.core.reports import (
@@ -41,7 +47,10 @@ __all__ = [
     "MeasurementStudy",
     "NameMeasurement",
     "PrefixOriginPair",
+    "ResilientFunnel",
+    "RunConfig",
     "StudyResult",
+    "StudyStatistics",
     "TransparencyReport",
     "analyse_exposure",
     "audit_domain",

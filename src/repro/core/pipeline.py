@@ -9,11 +9,13 @@ validation outcome."
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.bgp import TableDump
 from repro.dns import PublicResolver
+from repro.faults import DEFAULT_RETRY_POLICY, FaultPlan, RetryPolicy
 from repro.obs.progress import ProgressEvent, ProgressReporter
 from repro.obs.runtime import metrics, tracer
 from repro.rpki import ValidatedPayloads
@@ -22,6 +24,9 @@ from repro.core.dns_mapping import measure_name
 from repro.core.prefix_mapping import map_addresses
 from repro.core.records import DomainMeasurement, NameMeasurement
 from repro.core.rpki_validation import validate_pairs
+
+# Execution backends; repro.exec re-exports this as MODES.
+RUN_MODES: Tuple[str, ...] = ("auto", "serial", "thread", "process")
 
 # Funnel counters, one metric name per StudyStatistics field.  The
 # labelled entries share a metric family split by name form.
@@ -36,6 +41,15 @@ _STAT_METRICS: Dict[str, Tuple[str, Optional[Dict[str, str]]]] = {
     "as_set_exclusions": ("ripki_as_set_exclusions_total", None),
 }
 
+# Resilience counters — registered and ticked only on fault-injected
+# runs, so a run without a fault plan emits byte-identical metrics to
+# one predating the resilience layer.
+_RESILIENCE_METRICS: Dict[str, str] = {
+    "degraded_domains": "ripki_degraded_domains_total",
+    "retries_total": "ripki_retries_total",
+}
+_FAULTS_METRIC = "ripki_faults_injected_total"
+
 _STAT_HELP = {
     "ripki_domains_measured_total": "Domains pushed through the funnel",
     "ripki_invalid_dns_domains_total":
@@ -46,6 +60,10 @@ _STAT_HELP = {
         "Addresses with no covering prefix in the table dump",
     "ripki_as_set_exclusions_total":
         "Table rows skipped for an AS_SET origin (RFC 6472)",
+    "ripki_degraded_domains_total":
+        "Domains with a name form that exhausted its retry budget",
+    "ripki_retries_total": "Stage retries spent across all domains",
+    "ripki_faults_injected_total": "Injected faults observed, by kind",
 }
 
 # Stage name -> the counter that proves the stage observed work.
@@ -59,13 +77,24 @@ PIPELINE_STAGES: Dict[str, str] = {
 ProgressSink = Union[ProgressReporter, Callable[[ProgressEvent], None]]
 
 
-def _register_funnel_counters(registry) -> None:
-    """Create every funnel series up front so zero counts are explicit."""
+def _register_funnel_counters(registry, resilient: bool = False) -> None:
+    """Create every funnel series up front so zero counts are explicit.
+
+    The resilience counters exist only on fault-injected runs
+    (``resilient=True``); plain runs keep their metric output
+    unchanged.
+    """
     for metric, labels in _STAT_METRICS.values():
         labelnames = tuple(labels) if labels else ()
         counter = registry.counter(metric, _STAT_HELP[metric], labelnames=labelnames)
         if labels:
             counter.labels(**labels)
+    if resilient:
+        for metric in _RESILIENCE_METRICS.values():
+            registry.counter(metric, _STAT_HELP[metric])
+        registry.counter(
+            _FAULTS_METRIC, _STAT_HELP[_FAULTS_METRIC], labelnames=("kind",)
+        )
 
 
 @dataclass
@@ -80,10 +109,24 @@ class StudyStatistics:
     plain_pairs: int = 0
     unreachable_addresses: int = 0
     as_set_exclusions: int = 0
+    # Resilience accounting (all zero/empty unless faults were injected).
+    degraded_domains: int = 0         # a name form exhausted its retries
+    retries_total: int = 0            # stage retries spent across domains
+    faults_by_kind: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_addresses(self) -> int:
         return self.www_addresses + self.plain_addresses
+
+    @property
+    def faults_total(self) -> int:
+        return sum(self.faults_by_kind.values())
+
+    @property
+    def degraded_fraction(self) -> float:
+        if not self.domain_count:
+            return 0.0
+        return self.degraded_domains / self.domain_count
 
     @property
     def total_pairs(self) -> int:
@@ -104,7 +147,11 @@ class StudyStatistics:
     # -- metrics round-trip ------------------------------------------------
 
     def to_metrics(self, registry) -> None:
-        """Record every counter into ``registry`` (expects fresh series)."""
+        """Record every counter into ``registry`` (expects fresh series).
+
+        Resilience counters are emitted only when nonzero, so the
+        metric output of a fault-free study is unchanged.
+        """
         for field_name, (metric, labels) in _STAT_METRICS.items():
             labelnames = tuple(labels) if labels else ()
             counter = registry.counter(
@@ -113,6 +160,16 @@ class StudyStatistics:
             if labels:
                 counter = counter.labels(**labels)
             counter.inc(getattr(self, field_name))
+        for field_name, metric in _RESILIENCE_METRICS.items():
+            value = getattr(self, field_name)
+            if value:
+                registry.counter(metric, _STAT_HELP[metric]).inc(value)
+        if self.faults_by_kind:
+            faults = registry.counter(
+                _FAULTS_METRIC, _STAT_HELP[_FAULTS_METRIC], labelnames=("kind",)
+            )
+            for kind, count in sorted(self.faults_by_kind.items()):
+                faults.labels(kind=kind).inc(count)
 
     @classmethod
     def from_metrics(cls, registry) -> "StudyStatistics":
@@ -125,6 +182,15 @@ class StudyStatistics:
             if labels:
                 instrument = instrument.labels(**labels)
             setattr(stats, field_name, int(instrument.value))
+        for field_name, metric in _RESILIENCE_METRICS.items():
+            instrument = registry.get(metric)
+            if instrument is not None:
+                setattr(stats, field_name, int(instrument.value))
+        faults = registry.get(_FAULTS_METRIC)
+        if faults is not None:
+            for key, child in faults.series():
+                if child.value:
+                    stats.faults_by_kind[key[0]] = int(child.value)
         return stats
 
     def observed_stages(self, registry) -> List[str]:
@@ -261,6 +327,76 @@ def accumulate_measurement(
         www.unreachable_addresses + plain.unreachable_addresses
     )
     stats.as_set_exclusions += www.as_set_excluded + plain.as_set_excluded
+    # Resilience accounting; fault-free measurements carry all-default
+    # fields and skip these counters entirely, keeping plain runs'
+    # metric output unchanged.
+    if measurement.degraded:
+        stats.degraded_domains += 1
+        counters.counter(
+            "ripki_degraded_domains_total",
+            _STAT_HELP["ripki_degraded_domains_total"],
+        ).inc()
+    retries = www.retries + plain.retries
+    if retries:
+        stats.retries_total += retries
+        counters.counter(
+            "ripki_retries_total", _STAT_HELP["ripki_retries_total"]
+        ).inc(retries)
+    for form in (www, plain):
+        for kind, count in form.faults:
+            stats.faults_by_kind[kind] = (
+                stats.faults_by_kind.get(kind, 0) + count
+            )
+            counters.counter(
+                _FAULTS_METRIC,
+                _STAT_HELP[_FAULTS_METRIC],
+                labelnames=("kind",),
+            ).labels(kind=kind).inc(count)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything one :meth:`MeasurementStudy.run` needs, in one value.
+
+    Built once (by the CLI or a test) and passed to ``run(config=...)``
+    — replacing the grown pile of per-call keywords, which survive
+    only as a deprecated shim.  Frozen so a config can be shared
+    between runs, shards, and worker processes without aliasing
+    surprises; the progress sink is the one non-picklable field and
+    is stripped before a config crosses a process boundary.
+    """
+
+    workers: int = 1
+    mode: str = "auto"
+    shard_size: Optional[int] = None
+    retry: RetryPolicy = DEFAULT_RETRY_POLICY
+    faults: Optional[FaultPlan] = None
+    progress: Optional[ProgressSink] = None
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.mode not in RUN_MODES:
+            raise ValueError(f"mode must be one of {RUN_MODES}, got {self.mode!r}")
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+
+    @property
+    def resilient(self) -> bool:
+        """Fault injection (and with it the retry loop) is active."""
+        return self.faults is not None
+
+    def without_progress(self) -> "RunConfig":
+        """A picklable copy for shipping to worker processes."""
+        if self.progress is None:
+            return self
+        return RunConfig(
+            workers=self.workers,
+            mode=self.mode,
+            shard_size=self.shard_size,
+            retry=self.retry,
+            faults=self.faults,
+        )
 
 
 class MeasurementStudy:
@@ -308,40 +444,44 @@ class MeasurementStudy:
 
     def run(
         self,
-        progress: Optional[ProgressSink] = None,
+        config: Optional[Union[RunConfig, ProgressSink]] = None,
         *,
-        workers: int = 1,
-        mode: str = "auto",
+        progress: Optional[ProgressSink] = None,
+        workers: Optional[int] = None,
+        mode: Optional[str] = None,
         shard_size: Optional[int] = None,
     ) -> StudyResult:
         """Execute steps 2-4 for every domain of the ranking.
 
-        ``progress`` may be a :class:`ProgressReporter` or a bare
-        callback (wrapped in one); it receives rate/ETA events while
-        the funnel walks the ranking.
-
+        All run-shaping knobs live on the :class:`RunConfig`:
         ``workers`` > 1 shards the ranking into contiguous rank
-        chunks and fans them out through :mod:`repro.exec`; ``mode``
-        picks the execution backend (``"auto"``, ``"serial"``,
-        ``"thread"``, or ``"process"``) and ``shard_size`` overrides
-        the shard granularity.  The result is identical to the serial
-        run whatever the backend.
+        chunks and fans them out through :mod:`repro.exec`, ``mode``
+        picks the execution backend, ``faults``/``retry`` activate
+        the resilience layer (:mod:`repro.core.resilience`), and
+        ``progress`` receives rate/ETA events.  The result is
+        bit-identical across backends for any fixed config.
+
+        The keyword arguments (and passing a progress sink
+        positionally) are a deprecated compatibility shim; they build
+        the equivalent ``RunConfig`` and warn.
         """
-        if workers > 1 or mode not in ("auto", "serial"):
+        config = self._coerce_config(
+            config,
+            progress=progress,
+            workers=workers,
+            mode=mode,
+            shard_size=shard_size,
+        )
+        if config.workers > 1 or config.mode not in ("auto", "serial"):
             from repro.exec import execute_study
 
-            return execute_study(
-                self,
-                workers=workers,
-                mode=mode,
-                shard_size=shard_size,
-                progress=progress,
-            )
+            return execute_study(self, config=config)
         measurements: List[DomainMeasurement] = []
         stats = StudyStatistics(domain_count=len(self._ranking))
-        reporter = self._make_reporter(progress)
+        reporter = self._make_reporter(config.progress)
         counters = metrics()
-        _register_funnel_counters(counters)
+        _register_funnel_counters(counters, resilient=config.resilient)
+        funnel = self.resilient_funnel(config) if config.resilient else None
         measured = counters.counter(
             "ripki_domains_measured_total",
             _STAT_HELP["ripki_domains_measured_total"],
@@ -350,7 +490,10 @@ class MeasurementStudy:
             with tracer().span("stage.rank", domains=len(self._ranking)):
                 domains = list(self._ranking)
             for domain in domains:
-                measurement = self.measure_domain(domain)
+                if funnel is not None:
+                    measurement = funnel.measure_domain(domain)
+                else:
+                    measurement = self.measure_domain(domain)
                 measurements.append(measurement)
                 accumulate_measurement(stats, measurement)
                 measured.inc()
@@ -359,6 +502,67 @@ class MeasurementStudy:
         if reporter is not None:
             reporter.done()
         return StudyResult(measurements, stats)
+
+    @staticmethod
+    def _coerce_config(
+        config,
+        progress,
+        workers,
+        mode,
+        shard_size,
+    ) -> RunConfig:
+        """Normalise the run() call surface onto one RunConfig."""
+        if config is not None and not isinstance(config, RunConfig):
+            # Legacy positional progress sink: run(reporter).
+            if progress is not None:
+                raise TypeError(
+                    "progress passed both positionally and by keyword"
+                )
+            progress = config
+            config = None
+        legacy = {
+            name: value
+            for name, value in (
+                ("progress", progress),
+                ("workers", workers),
+                ("mode", mode),
+                ("shard_size", shard_size),
+            )
+            if value is not None
+        }
+        if config is not None:
+            if legacy:
+                raise TypeError(
+                    "pass either config=RunConfig(...) or the legacy "
+                    f"keywords, not both (got {sorted(legacy)})"
+                )
+            return config
+        if legacy:
+            warnings.warn(
+                "per-call keywords to MeasurementStudy.run() are "
+                "deprecated; build a RunConfig and pass run(config=...)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return RunConfig(
+            workers=workers if workers is not None else 1,
+            mode=mode if mode is not None else "auto",
+            shard_size=shard_size,
+            progress=progress,
+        )
+
+    def resilient_funnel(self, config: RunConfig):
+        """The fault-injected funnel a resilient ``config`` demands."""
+        from repro.core.resilience import ResilientFunnel
+
+        assert config.faults is not None
+        return ResilientFunnel(
+            self._resolver,
+            self._dump,
+            self._payloads,
+            faults=config.faults,
+            retry=config.retry,
+        )
 
     def _make_reporter(
         self, progress: Optional[ProgressSink]

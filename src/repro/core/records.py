@@ -44,6 +44,13 @@ class NameMeasurement:
     as_set_excluded: int = 0        # table rows skipped due to AS_SET origin
     cname_count: int = 0            # CNAME indirections observed
     pairs: List[PrefixOriginPair] = field(default_factory=list)
+    # Resilience outcome (set only by fault-injected runs): the stage
+    # that exhausted its retries ("" = none), retries spent across
+    # stages, and the injected faults observed, as sorted
+    # (kind, count) pairs — primitives so the wire codec ships them.
+    degraded_stage: str = ""
+    retries: int = 0
+    faults: Tuple[Tuple[str, int], ...] = ()
 
     # -- derived quantities -------------------------------------------------
 
@@ -51,6 +58,11 @@ class NameMeasurement:
     def usable(self) -> bool:
         """Resolved to at least one routable, reachable address."""
         return self.resolved and bool(self.pairs)
+
+    @property
+    def degraded(self) -> bool:
+        """A stage gave up after exhausting its retry budget."""
+        return bool(self.degraded_stage)
 
     def prefixes(self) -> Set[Prefix]:
         return {pair.prefix for pair in self.pairs}
@@ -112,6 +124,11 @@ class DomainMeasurement:
     @property
     def usable(self) -> bool:
         return self.www.usable or self.plain.usable
+
+    @property
+    def degraded(self) -> bool:
+        """Either name form exhausted a retry budget."""
+        return self.www.degraded or self.plain.degraded
 
     def is_cdn(self, min_cnames: int = 2) -> bool:
         """The paper's chain heuristic: served via >= 2 CNAMEs."""

@@ -209,7 +209,7 @@ def pipeline_statistics(
                 f"{rebuilt} != {stats}"
             )
         stats = rebuilt
-    return {
+    summary: Dict[str, float] = {
         "domains": stats.domain_count,
         "invalid_dns_fraction": stats.invalid_dns_fraction,
         "www_addresses": stats.www_addresses,
@@ -219,3 +219,11 @@ def pipeline_statistics(
         "unreachable_fraction": stats.unreachable_fraction,
         "as_set_exclusions": stats.as_set_exclusions,
     }
+    # Resilience keys appear only when a fault-injected run recorded
+    # something, so fault-free output is unchanged.
+    if stats.degraded_domains or stats.retries_total or stats.faults_by_kind:
+        summary["degraded_domains"] = stats.degraded_domains
+        summary["degraded_fraction"] = stats.degraded_fraction
+        summary["retries_total"] = stats.retries_total
+        summary["faults_injected"] = stats.faults_total
+    return summary

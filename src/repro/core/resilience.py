@@ -1,0 +1,164 @@
+"""Graceful degradation for the measurement funnel.
+
+:class:`ResilientFunnel` runs steps 2-4 against fault-injected
+substrates (:mod:`repro.faults`) under a retry policy, and turns
+retry exhaustion into *per-domain degradation* instead of a failed
+study: a name form whose DNS stage gives up is recorded unresolved
+with ``degraded_stage="dns"``; one whose prefix/validation stage
+gives up keeps its DNS outcome and marks ``degraded_stage="prefix"``.
+Retries spent and faults observed are recorded on the measurement so
+:func:`~repro.core.pipeline.accumulate_measurement` can aggregate
+them into :class:`~repro.core.pipeline.StudyStatistics`.
+
+Determinism contract (the serial-vs-parallel equivalence guarantee):
+
+* fault decisions are pure functions of (plan seed, kind, site key,
+  attempt) — the funnel publishes the attempt number through a shared
+  :class:`~repro.faults.AttemptCell`, never through wrapper-local
+  counters that would drift with sharding;
+* retried attempts run under a scratch metrics registry that is
+  merged into the live one only on success, so failed attempts leave
+  no trace in the funnel counters and the registry cross-check in
+  :func:`repro.core.reports.pipeline_statistics` holds under faults;
+* the prefix stage retries against a *trial copy* of the DNS result,
+  so a failing attempt never double-counts unreachable addresses or
+  AS_SET exclusions on the measurement it will eventually return.
+
+One funnel instance serves one run, shard, or worker interchangeably
+— instances carry no decision state, so any partition of the ranking
+over funnels yields bit-identical measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, TypeVar
+
+from repro.bgp import TableDump
+from repro.dns import PublicResolver
+from repro.errors import RetryExhausted
+from repro.faults import (
+    AttemptCell,
+    DEFAULT_RETRY_POLICY,
+    FaultPlan,
+    FaultyResolver,
+    FaultyTableDump,
+    RetryPolicy,
+    call_with_retry,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import metrics, thread_scope, tracer
+from repro.rpki import ValidatedPayloads
+from repro.web.alexa import Domain
+from repro.core.dns_mapping import measure_name
+from repro.core.prefix_mapping import map_addresses
+from repro.core.records import DomainMeasurement, NameMeasurement
+from repro.core.rpki_validation import validate_pairs
+
+T = TypeVar("T")
+
+# Stage names recorded in NameMeasurement.degraded_stage.
+STAGE_DNS = "dns"
+STAGE_PREFIX = "prefix"
+
+
+class ResilientFunnel:
+    """Steps 2-4 with fault injection, retries, and degradation."""
+
+    def __init__(
+        self,
+        resolver: PublicResolver,
+        table_dump: TableDump,
+        payloads: ValidatedPayloads,
+        faults: FaultPlan,
+        retry: RetryPolicy = DEFAULT_RETRY_POLICY,
+        sleeper: Optional[Callable[[float], None]] = None,
+    ):
+        self._payloads = payloads
+        self._retry = retry
+        self._sleeper = sleeper
+        self._cell = AttemptCell()
+        self._form_faults: Dict[str, int] = {}
+        self._resolver = FaultyResolver(
+            resolver, faults, attempt=self._cell, on_fault=self._record_fault
+        )
+        self._dump = FaultyTableDump(
+            table_dump, faults, attempt=self._cell, on_fault=self._record_fault
+        )
+
+    def _record_fault(self, kind: str) -> None:
+        self._form_faults[kind] = self._form_faults.get(kind, 0) + 1
+
+    def measure_domain(self, domain: Domain) -> DomainMeasurement:
+        """Steps 2-4 for one domain (both name forms), never raising."""
+        www = self.measure_form(domain.www_name)
+        plain = self.measure_form(domain.name)
+        return DomainMeasurement(domain=domain, www=www, plain=plain)
+
+    def measure_form(self, name: str) -> NameMeasurement:
+        """Steps 2-4 for one name form under the retry policy."""
+        self._form_faults = {}
+        retries = 0
+        try:
+            measurement, attempts = call_with_retry(
+                lambda: self._attempt(lambda: measure_name(self._resolver, name)),
+                policy=self._retry,
+                key=f"{STAGE_DNS}|{name}",
+                attempt_cell=self._cell,
+                sleeper=self._sleeper,
+            )
+            retries += attempts - 1
+        except RetryExhausted as exhausted:
+            retries += exhausted.attempts - 1
+            measurement = NameMeasurement(name=name, degraded_stage=STAGE_DNS)
+        else:
+            if measurement.resolved and measurement.addresses:
+                try:
+                    mapped, attempts = call_with_retry(
+                        lambda: self._attempt(
+                            lambda: self._map_and_validate(measurement)
+                        ),
+                        policy=self._retry,
+                        key=f"{STAGE_PREFIX}|{name}",
+                        attempt_cell=self._cell,
+                        sleeper=self._sleeper,
+                    )
+                    retries += attempts - 1
+                    measurement = mapped
+                except RetryExhausted as exhausted:
+                    retries += exhausted.attempts - 1
+                    measurement.degraded_stage = STAGE_PREFIX
+        measurement.retries = retries
+        measurement.faults = tuple(sorted(self._form_faults.items()))
+        return measurement
+
+    def _map_and_validate(self, base: NameMeasurement) -> NameMeasurement:
+        """Steps 3-4 on a trial copy of the DNS outcome.
+
+        ``map_addresses`` mutates its measurement (unreachable/AS_SET
+        counts); retrying on a copy keeps ``base`` pristine until an
+        attempt completes, and leaves it untouched on exhaustion.
+        """
+        trial = NameMeasurement(
+            name=base.name,
+            resolved=base.resolved,
+            addresses=list(base.addresses),
+            excluded_special=base.excluded_special,
+            cname_count=base.cname_count,
+        )
+        pairs = map_addresses(self._dump, trial)
+        trial.pairs = validate_pairs(self._payloads, pairs)
+        return trial
+
+    def _attempt(self, fn: Callable[[], T]) -> T:
+        """Run one attempt; its metric ticks land only if it succeeds."""
+        live = metrics()
+        if not live.enabled:
+            return fn()
+        scratch = MetricsRegistry()
+        with thread_scope(scratch, tracer()):
+            value = fn()
+        live.merge(scratch)
+        return value
+
+    def __repr__(self) -> str:
+        return f"<ResilientFunnel retry={self._retry!r}>"

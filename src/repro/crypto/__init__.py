@@ -14,6 +14,7 @@ generation for thousands of synthetic CAs fast.
 """
 
 from repro.crypto.digest import sha256, sha256_hex
+from repro.errors import ReproError
 from repro.crypto.errors import CryptoError, SignatureError
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.primes import generate_prime, is_probable_prime
@@ -25,6 +26,7 @@ __all__ = [
     "DeterministicRNG",
     "KeyPair",
     "PublicKey",
+    "ReproError",
     "SignatureError",
     "generate_keypair",
     "generate_prime",

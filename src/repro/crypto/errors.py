@@ -1,7 +1,9 @@
 """Exception hierarchy for the crypto substrate."""
 
+from repro.errors import ReproError
 
-class CryptoError(Exception):
+
+class CryptoError(ReproError):
     """Base class for crypto failures."""
 
 

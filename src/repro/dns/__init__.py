@@ -8,6 +8,7 @@ heuristic of Section 4.3 counts.
 """
 
 from repro.dns.errors import DNSError, ResolutionError
+from repro.errors import ReproError
 from repro.dns.records import RecordType, ResourceRecord
 from repro.dns.resolver import Answer, RCode, RecursiveResolver
 from repro.dns.namespace import Namespace
@@ -21,6 +22,7 @@ __all__ = [
     "RCode",
     "RecordType",
     "RecursiveResolver",
+    "ReproError",
     "ResolutionError",
     "ResourceRecord",
 ]

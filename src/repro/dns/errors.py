@@ -1,7 +1,9 @@
 """Exception hierarchy for the DNS substrate."""
 
+from repro.errors import ReproError
 
-class DNSError(Exception):
+
+class DNSError(ReproError):
     """Base class for DNS failures."""
 
 

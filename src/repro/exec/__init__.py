@@ -11,7 +11,12 @@ to the serial run.  Shard results cross the process boundary in the
 compact wire form of :mod:`repro.exec.codec`.
 """
 
-from repro.exec.codec import decode_measurements, encode_measurements
+from repro.exec.codec import (
+    decode_measurements,
+    decode_statistics,
+    encode_measurements,
+    encode_statistics,
+)
 from repro.exec.executor import (
     MODES,
     ShardOutcome,
@@ -32,8 +37,10 @@ __all__ = [
     "Shard",
     "ShardOutcome",
     "decode_measurements",
+    "decode_statistics",
     "default_shard_size",
     "encode_measurements",
+    "encode_statistics",
     "execute_study",
     "merge_statistics",
     "plan_shards",

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+from repro.core.pipeline import StudyStatistics
 from repro.core.records import (
     DomainMeasurement,
     NameMeasurement,
@@ -38,11 +39,18 @@ from repro.rpki.vrp import OriginValidation
 from repro.web.alexa import Domain
 
 # One NameMeasurement as primitives: (name, resolved, addresses,
-# excluded_special, unreachable, as_set_excluded, cnames, pairs) with
-# addresses = [(family, value)] and pairs = [(family, value, length,
-# origin, state-value)].
-WireName = Tuple[str, bool, list, int, int, int, int, list]
+# excluded_special, unreachable, as_set_excluded, cnames, pairs,
+# degraded_stage, retries, faults) with addresses = [(family, value)],
+# pairs = [(family, value, length, origin, state-value)], and
+# faults = [(kind, count)].
+WireName = Tuple[str, bool, list, int, int, int, int, list, str, int, list]
 WireMeasurement = Tuple[WireName, WireName]
+
+# StudyStatistics as primitives: the integer fields in declaration
+# order, then faults_by_kind as sorted (kind, count) pairs.
+WireStatistics = Tuple[
+    int, int, int, int, int, int, int, int, int, int, list
+]
 
 
 def _encode_name(measurement: NameMeasurement) -> WireName:
@@ -64,11 +72,26 @@ def _encode_name(measurement: NameMeasurement) -> WireName:
             )
             for pair in measurement.pairs
         ],
+        measurement.degraded_stage,
+        measurement.retries,
+        [(kind, count) for kind, count in measurement.faults],
     )
 
 
 def _decode_name(wire: WireName) -> NameMeasurement:
-    name, resolved, addresses, excluded, unreachable, as_set, cnames, pairs = wire
+    (
+        name,
+        resolved,
+        addresses,
+        excluded,
+        unreachable,
+        as_set,
+        cnames,
+        pairs,
+        degraded_stage,
+        retries,
+        faults,
+    ) = wire
     measurement = NameMeasurement.__new__(NameMeasurement)
     measurement.name = name
     measurement.resolved = resolved
@@ -93,6 +116,9 @@ def _decode_name(wire: WireName) -> NameMeasurement:
             PrefixOriginPair(prefix, ASN(origin), OriginValidation(state))
         )
     measurement.pairs = decoded_pairs
+    measurement.degraded_stage = degraded_stage
+    measurement.retries = retries
+    measurement.faults = tuple((kind, count) for kind, count in faults)
     return measurement
 
 
@@ -125,3 +151,26 @@ def decode_measurements(
         measurement.plain = _decode_name(plain)
         measurements.append(measurement)
     return measurements
+
+
+def encode_statistics(stats: StudyStatistics) -> WireStatistics:
+    """Flatten shard statistics to primitives for the wire."""
+    return (
+        stats.domain_count,
+        stats.invalid_dns_domains,
+        stats.www_addresses,
+        stats.plain_addresses,
+        stats.www_pairs,
+        stats.plain_pairs,
+        stats.unreachable_addresses,
+        stats.as_set_exclusions,
+        stats.degraded_domains,
+        stats.retries_total,
+        sorted(stats.faults_by_kind.items()),
+    )
+
+
+def decode_statistics(wire: WireStatistics) -> StudyStatistics:
+    """Rebuild shard statistics; exact inverse of :func:`encode_statistics`."""
+    *counts, faults = wire
+    return StudyStatistics(*counts, faults_by_kind=dict(faults))

@@ -44,15 +44,22 @@ from typing import Callable, List, Optional
 from repro.core.pipeline import (
     _STAT_HELP,
     _register_funnel_counters,
+    RUN_MODES,
     MeasurementStudy,
     ProgressSink,
+    RunConfig,
     StudyResult,
     StudyStatistics,
     accumulate_measurement,
     measure_domain,
 )
 from repro.core.records import DomainMeasurement
-from repro.exec.codec import decode_measurements, encode_measurements
+from repro.exec.codec import (
+    decode_measurements,
+    decode_statistics,
+    encode_measurements,
+    encode_statistics,
+)
 from repro.exec.sharding import Shard, plan_shards
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.progress import ProgressReporter
@@ -64,7 +71,7 @@ from repro.obs.runtime import (
 )
 from repro.obs.tracing import Span, TraceCollector
 
-MODES = ("auto", "serial", "thread", "process")
+MODES = RUN_MODES
 
 # Deep v6 tries nest one node per prefix bit; give pickle headroom
 # when shipping the study to process workers.
@@ -95,11 +102,20 @@ def merge_statistics(parts) -> StudyStatistics:
         total.plain_pairs += part.plain_pairs
         total.unreachable_addresses += part.unreachable_addresses
         total.as_set_exclusions += part.as_set_exclusions
+        total.degraded_domains += part.degraded_domains
+        total.retries_total += part.retries_total
+        for kind, count in sorted(part.faults_by_kind.items()):
+            total.faults_by_kind[kind] = (
+                total.faults_by_kind.get(kind, 0) + count
+            )
     return total
 
 
 def run_shard(
-    study: MeasurementStudy, shard: Shard, observe: bool
+    study: MeasurementStudy,
+    shard: Shard,
+    observe: bool,
+    config: Optional[RunConfig] = None,
 ) -> ShardOutcome:
     """Steps 2-4 for one shard, recorded into shard-local sinks.
 
@@ -107,15 +123,22 @@ def run_shard(
     collector installed thread-locally, so concurrent shards never
     interleave into one instrument and the outcomes merge
     deterministically in shard order.
+
+    A resilient ``config`` (one carrying a fault plan) routes the
+    shard through a fresh :class:`~repro.core.resilience.ResilientFunnel`;
+    fault decisions are pure functions of the plan, so per-shard
+    funnels reproduce the serial run's outcomes exactly.
     """
+    resilient = config is not None and config.resilient
     registry = MetricsRegistry() if observe else None
     collector = TraceCollector() if observe else None
     measurements: List[DomainMeasurement] = []
     stats = StudyStatistics(domain_count=len(shard))
+    funnel = study.resilient_funnel(config) if resilient else None
     with thread_scope(registry, collector):
         counters = metrics()
         if observe:
-            _register_funnel_counters(counters)
+            _register_funnel_counters(counters, resilient=resilient)
         measured = counters.counter(
             "ripki_domains_measured_total",
             _STAT_HELP["ripki_domains_measured_total"],
@@ -124,9 +147,12 @@ def run_shard(
             "shard.run", shard=shard.index, domains=len(shard)
         ):
             for domain in shard.domains:
-                measurement = measure_domain(
-                    study.resolver, study.table_dump, study.payloads, domain
-                )
+                if funnel is not None:
+                    measurement = funnel.measure_domain(domain)
+                else:
+                    measurement = measure_domain(
+                        study.resolver, study.table_dump, study.payloads, domain
+                    )
                 measurements.append(measurement)
                 accumulate_measurement(stats, measurement)
                 measured.inc()
@@ -144,33 +170,41 @@ def run_shard(
 
 # One study per worker process, installed by the pool initializer so
 # the (large) resolver/table-dump/payload state is pickled once per
-# worker instead of once per shard.
+# worker instead of once per shard.  The config crosses the boundary
+# progress-stripped (the sink is the one non-picklable field; ticks
+# happen parent-side anyway).
 _WORKER_STUDY: Optional[MeasurementStudy] = None
 _WORKER_OBSERVE: bool = False
+_WORKER_CONFIG: Optional[RunConfig] = None
 
 
-def _init_process_worker(study: MeasurementStudy, observe: bool) -> None:
-    global _WORKER_STUDY, _WORKER_OBSERVE
+def _init_process_worker(
+    study: MeasurementStudy,
+    observe: bool,
+    config: Optional[RunConfig] = None,
+) -> None:
+    global _WORKER_STUDY, _WORKER_OBSERVE, _WORKER_CONFIG
     sys.setrecursionlimit(max(sys.getrecursionlimit(), _PICKLE_RECURSION_LIMIT))
     _WORKER_STUDY = study
     _WORKER_OBSERVE = observe
+    _WORKER_CONFIG = config
 
 
 def _process_shard(shard: Shard):
     """Run one shard and return it in wire form.
 
-    Measurements go back to the parent through the codec
-    (:mod:`repro.exec.codec`) instead of as pickled record objects —
-    the parent deserialises results on one thread, and the compact
-    form halves that bottleneck.  Domains are re-attached parent-side
-    from the shard plan.
+    Measurements and statistics go back to the parent through the
+    codec (:mod:`repro.exec.codec`) instead of as pickled record
+    objects — the parent deserialises results on one thread, and the
+    compact form halves that bottleneck.  Domains are re-attached
+    parent-side from the shard plan.
     """
     assert _WORKER_STUDY is not None, "worker initializer did not run"
-    outcome = run_shard(_WORKER_STUDY, shard, _WORKER_OBSERVE)
+    outcome = run_shard(_WORKER_STUDY, shard, _WORKER_OBSERVE, _WORKER_CONFIG)
     return (
         outcome.index,
         encode_measurements(outcome.measurements),
-        outcome.statistics,
+        encode_statistics(outcome.statistics),
         outcome.metrics,
         outcome.spans,
         outcome.dropped_spans,
@@ -186,26 +220,38 @@ def execute_study(
     mode: str = "auto",
     shard_size: Optional[int] = None,
     progress: Optional[ProgressSink] = None,
+    config: Optional[RunConfig] = None,
 ) -> StudyResult:
     """Run the study sharded; the result equals the serial run's.
 
-    ``progress`` receives batched ticks — one ``tick(len(shard))``
-    per completed shard, in completion order.
+    ``config`` bundles every knob (and is what
+    :meth:`MeasurementStudy.run` passes); the loose keywords build an
+    equivalent config when it is omitted.  The progress sink receives
+    batched ticks — one ``tick(len(shard))`` per completed shard, in
+    completion order.
     """
-    if mode not in MODES:
-        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
-    workers = max(1, int(workers))
-    resolved = mode
-    if mode == "auto":
+    if config is None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        config = RunConfig(
+            workers=max(1, int(workers)),
+            mode=mode,
+            shard_size=shard_size,
+            progress=progress,
+        )
+    workers = config.workers
+    shard_size = config.shard_size
+    resolved = config.mode
+    if resolved == "auto":
         resolved = "process" if workers > 1 else "serial"
 
     observe = observability_enabled()
     registry = metrics()
     trace = tracer()
     if observe:
-        _register_funnel_counters(registry)
+        _register_funnel_counters(registry, resilient=config.resilient)
 
-    reporter = _make_reporter(progress, total=len(study.ranking))
+    reporter = _make_reporter(config.progress, total=len(study.ranking))
     ticker: Callable[[Shard], None] = (
         (lambda shard: reporter.tick(len(shard)))
         if reporter is not None
@@ -222,11 +268,15 @@ def execute_study(
             domains = list(study.ranking)
         shards = plan_shards(domains, shard_size=shard_size, workers=workers)
         if resolved == "serial":
-            outcomes = _run_serial(study, shards, observe, ticker)
+            outcomes = _run_serial(study, shards, observe, ticker, config)
         elif resolved == "thread":
-            outcomes = _run_threaded(study, shards, observe, workers, ticker)
+            outcomes = _run_threaded(
+                study, shards, observe, workers, ticker, config
+            )
         else:
-            outcomes = _run_processes(study, shards, observe, workers, ticker)
+            outcomes = _run_processes(
+                study, shards, observe, workers, ticker, config
+            )
         outcomes.sort(key=lambda outcome: outcome.index)
         measurements = [
             measurement
@@ -259,21 +309,23 @@ def _make_reporter(
     return ProgressReporter(total=total, callback=progress)
 
 
-def _run_serial(study, shards, observe, ticker) -> List[ShardOutcome]:
+def _run_serial(study, shards, observe, ticker, config) -> List[ShardOutcome]:
     outcomes = []
     for shard in shards:
-        outcomes.append(run_shard(study, shard, observe))
+        outcomes.append(run_shard(study, shard, observe, config))
         ticker(shard)
     return outcomes
 
 
-def _run_threaded(study, shards, observe, workers, ticker) -> List[ShardOutcome]:
+def _run_threaded(
+    study, shards, observe, workers, ticker, config
+) -> List[ShardOutcome]:
     outcomes: List[ShardOutcome] = []
     with concurrent.futures.ThreadPoolExecutor(
         max_workers=workers, thread_name_prefix="ripki-shard"
     ) as pool:
         futures = {
-            pool.submit(run_shard, study, shard, observe): shard
+            pool.submit(run_shard, study, shard, observe, config): shard
             for shard in shards
         }
         for future in concurrent.futures.as_completed(futures):
@@ -282,15 +334,18 @@ def _run_threaded(study, shards, observe, workers, ticker) -> List[ShardOutcome]
     return outcomes
 
 
-def _run_processes(study, shards, observe, workers, ticker) -> List[ShardOutcome]:
+def _run_processes(
+    study, shards, observe, workers, ticker, config
+) -> List[ShardOutcome]:
     previous_limit = sys.getrecursionlimit()
     sys.setrecursionlimit(max(previous_limit, _PICKLE_RECURSION_LIMIT))
     outcomes: List[ShardOutcome] = []
+    shipped = config.without_progress() if config is not None else None
     try:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_process_worker,
-            initargs=(study, observe),
+            initargs=(study, observe, shipped),
         ) as pool:
             futures = {
                 pool.submit(_process_shard, shard): shard for shard in shards
@@ -302,7 +357,7 @@ def _run_processes(study, shards, observe, workers, ticker) -> List[ShardOutcome
                     ShardOutcome(
                         index=index,
                         measurements=decode_measurements(encoded, shard.domains),
-                        statistics=stats,
+                        statistics=decode_statistics(stats),
                         metrics=registry,
                         spans=spans,
                         dropped_spans=dropped,

@@ -1,0 +1,78 @@
+"""Deterministic fault injection and retry machinery (``repro.faults``).
+
+Real RPKI measurement is dominated by partial failure: flaky
+resolvers, stale or truncated route-collector dumps, dropped RTR
+sessions.  This package makes those failure modes *first-class and
+reproducible* so the pipeline's resilience can be exercised and
+regression-tested:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a seeded per-site
+  hash schedule of injected faults, independent of sharding and
+  worker count;
+* :mod:`repro.faults.injectors` — proxies that wrap the real
+  substrates (resolver, table dump, RTR transport) and raise typed
+  :class:`InjectedFault` errors on schedule;
+* :mod:`repro.faults.retry` — :class:`RetryPolicy` (exponential
+  backoff with deterministic jitter and a per-call budget) and
+  :func:`call_with_retry`, the loop that turns transient faults into
+  retried calls.
+
+The pipeline-facing glue — turning retry exhaustion into per-domain
+``degraded`` outcomes — lives in :mod:`repro.core.resilience`.
+"""
+
+from repro.errors import ReproError, RetryExhausted, TransientFault
+from repro.faults.injectors import (
+    FaultyResolver,
+    FaultyTableDump,
+    FaultyTransport,
+    InjectedDNSFault,
+    InjectedDumpFault,
+    InjectedFault,
+    InjectedRTRFault,
+)
+from repro.faults.plan import (
+    DNS_SERVFAIL,
+    DNS_TIMEOUT,
+    DNS_TRUNCATED_CHAIN,
+    DUMP_CORRUPT,
+    DUMP_MISSING_ROUTE,
+    FAULT_KINDS,
+    PROFILES,
+    RTR_CACHE_RESET,
+    RTR_SESSION_DROP,
+    FaultPlan,
+)
+from repro.faults.retry import (
+    DEFAULT_RETRY_POLICY,
+    AttemptCell,
+    RetryPolicy,
+    call_with_retry,
+)
+
+__all__ = [
+    "AttemptCell",
+    "DEFAULT_RETRY_POLICY",
+    "DNS_SERVFAIL",
+    "DNS_TIMEOUT",
+    "DNS_TRUNCATED_CHAIN",
+    "DUMP_CORRUPT",
+    "DUMP_MISSING_ROUTE",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultyResolver",
+    "FaultyTableDump",
+    "FaultyTransport",
+    "InjectedDNSFault",
+    "InjectedDumpFault",
+    "InjectedFault",
+    "InjectedRTRFault",
+    "PROFILES",
+    "ReproError",
+    "RetryExhausted",
+    "RetryPolicy",
+    "RTR_CACHE_RESET",
+    "RTR_SESSION_DROP",
+    "TransientFault",
+    "call_with_retry",
+]

@@ -1,0 +1,167 @@
+"""Deterministic, seedable fault plans.
+
+A :class:`FaultPlan` decides, for every (fault kind, site key)
+combination, whether an injected fault fires — and for how many
+consecutive attempts.  The decision is a pure function of the plan's
+seed and the site key (a SHA-256 hash), with three consequences the
+resilience tests lean on:
+
+* **reproducible** — the same seed and rates replay the exact same
+  fault schedule, run after run;
+* **sharding-independent** — the decision never consults worker
+  count, shard boundaries, or any mutable state, so serial, thread,
+  and process backends inject identical faults and produce
+  bit-identical :class:`~repro.core.pipeline.StudyResult`\\ s;
+* **retry-aware** — a faulty site fails a bounded number of
+  *consecutive* attempts (``1..max_consecutive``) and then recovers,
+  so a retry policy with enough attempts heals some sites while
+  others exhaust their budget and degrade.
+
+Keys are whatever identifies the call site: the queried name for DNS,
+the looked-up address for table dumps, an operation sequence tag for
+RTR transports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+# The supported failure modes, one namespace per substrate.
+DNS_SERVFAIL = "dns.servfail"
+DNS_TIMEOUT = "dns.timeout"
+DNS_TRUNCATED_CHAIN = "dns.truncated_chain"
+DUMP_CORRUPT = "dump.corrupt"
+DUMP_MISSING_ROUTE = "dump.missing_route"
+RTR_SESSION_DROP = "rtr.session_drop"
+RTR_CACHE_RESET = "rtr.cache_reset"
+
+FAULT_KINDS: Tuple[str, ...] = (
+    DNS_SERVFAIL,
+    DNS_TIMEOUT,
+    DNS_TRUNCATED_CHAIN,
+    DUMP_CORRUPT,
+    DUMP_MISSING_ROUTE,
+    RTR_SESSION_DROP,
+    RTR_CACHE_RESET,
+)
+
+# Named profiles for the CLI.  "flaky" models everyday measurement
+# weather (most sites recover within a retry or two); "degraded"
+# models a bad day at the vantage point; "chaos" is for soak-testing
+# the degradation paths themselves.
+PROFILES: Dict[str, Dict[str, float]] = {
+    "flaky": {
+        DNS_SERVFAIL: 0.06,
+        DNS_TIMEOUT: 0.04,
+        DNS_TRUNCATED_CHAIN: 0.02,
+        DUMP_CORRUPT: 0.03,
+        DUMP_MISSING_ROUTE: 0.02,
+        RTR_SESSION_DROP: 0.05,
+        RTR_CACHE_RESET: 0.02,
+    },
+    "degraded": {
+        DNS_SERVFAIL: 0.15,
+        DNS_TIMEOUT: 0.10,
+        DNS_TRUNCATED_CHAIN: 0.05,
+        DUMP_CORRUPT: 0.08,
+        DUMP_MISSING_ROUTE: 0.05,
+        RTR_SESSION_DROP: 0.12,
+        RTR_CACHE_RESET: 0.05,
+    },
+    "chaos": {kind: 0.30 for kind in FAULT_KINDS},
+}
+
+
+def _unit_interval(token: str) -> Tuple[float, int]:
+    """(uniform [0,1) draw, independent 64-bit draw) for one token."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    unit = int.from_bytes(digest[:8], "big") / 2**64
+    span = int.from_bytes(digest[8:16], "big")
+    return unit, span
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of injected faults over site keys.
+
+    ``rates`` is stored as a sorted tuple of ``(kind, rate)`` pairs so
+    plans are hashable, picklable, and order-insensitive to how the
+    mapping was written; build plans through :meth:`from_rates` or
+    :meth:`from_profile`.
+    """
+
+    seed: int = 0
+    rates: Tuple[Tuple[str, float], ...] = ()
+    max_consecutive: int = 4
+
+    def __post_init__(self):
+        if self.max_consecutive < 1:
+            raise ValueError("max_consecutive must be >= 1")
+        for kind, rate in self.rates:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; known: {FAULT_KINDS}"
+                )
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rate for {kind!r} must be in [0, 1], got {rate}")
+
+    @classmethod
+    def from_rates(
+        cls,
+        rates: Mapping[str, float],
+        seed: int = 0,
+        max_consecutive: int = 4,
+    ) -> "FaultPlan":
+        return cls(
+            seed=seed,
+            rates=tuple(sorted(rates.items())),
+            max_consecutive=max_consecutive,
+        )
+
+    @classmethod
+    def from_profile(cls, profile: str, seed: int = 0) -> "FaultPlan":
+        """One of the named :data:`PROFILES`, bound to a seed."""
+        try:
+            rates = PROFILES[profile]
+        except KeyError:
+            raise ValueError(
+                f"unknown fault profile {profile!r}; "
+                f"known: {sorted(PROFILES)}"
+            ) from None
+        return cls.from_rates(rates, seed=seed)
+
+    def rate_for(self, kind: str) -> float:
+        for known, rate in self.rates:
+            if known == kind:
+                return rate
+        return 0.0
+
+    def failures_for(self, kind: str, key: str) -> int:
+        """How many consecutive attempts fail for this (kind, key).
+
+        0 means the site is healthy for this fault kind; otherwise the
+        site fails attempts ``0 .. n-1`` and succeeds from attempt
+        ``n`` on.  Pure function of (seed, kind, key).
+        """
+        rate = self.rate_for(kind)
+        if rate <= 0.0:
+            return 0
+        unit, span = _unit_interval(f"{self.seed}|{kind}|{key}")
+        if unit >= rate:
+            return 0
+        return 1 + span % self.max_consecutive
+
+    def should_fail(self, kind: str, key: str, attempt: int) -> bool:
+        """Does attempt number ``attempt`` (0-based) fail for this site?"""
+        return attempt < self.failures_for(kind, key)
+
+    def active_kinds(self) -> Tuple[str, ...]:
+        return tuple(kind for kind, rate in self.rates if rate > 0.0)
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{kind}={rate:g}" for kind, rate in self.rates if rate > 0.0
+        )
+        return f"seed={self.seed} max_consecutive={self.max_consecutive} [{parts}]"

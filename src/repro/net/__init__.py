@@ -13,6 +13,7 @@ from repro.net.addr import (
     parse_prefix,
 )
 from repro.net.asn import ASN, parse_asn
+from repro.errors import ReproError
 from repro.net.errors import AddressError, NetError, PrefixError
 from repro.net.special import (
     is_special_purpose,
@@ -28,6 +29,7 @@ __all__ = [
     "Prefix",
     "PrefixError",
     "PrefixTrie",
+    "ReproError",
     "is_special_purpose",
     "parse_address",
     "parse_asn",

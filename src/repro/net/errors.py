@@ -1,8 +1,15 @@
 """Exception hierarchy for the ``repro.net`` package."""
 
+from repro.errors import ReproError
 
-class NetError(ValueError):
-    """Base class for addressing errors."""
+
+class NetError(ReproError, ValueError):
+    """Base class for addressing errors.
+
+    Stays a :class:`ValueError` — parse failures are value errors to
+    callers that never heard of the resilience layer — while also
+    joining the :class:`~repro.errors.ReproError` hierarchy.
+    """
 
 
 class AddressError(NetError):

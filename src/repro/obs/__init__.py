@@ -35,6 +35,7 @@ from repro.obs.progress import (
     stderr_renderer,
 )
 from repro.obs.report import (
+    degradation_report,
     stage_timing_report,
     timing_summary,
     timing_table,
@@ -74,6 +75,7 @@ __all__ = [
     "Span",
     "SpanStats",
     "TraceCollector",
+    "degradation_report",
     "disable",
     "enable",
     "get_logger",

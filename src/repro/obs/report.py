@@ -45,6 +45,35 @@ def stage_timing_report(collector: TraceCollector) -> str:
     return "\n".join(lines)
 
 
+def degradation_report(
+    degraded_domains: int,
+    retries_total: int,
+    faults_by_kind: Mapping[str, int],
+    domain_count: int = 0,
+) -> str:
+    """Render the resilience outcome of a fault-injected run.
+
+    Takes plain values rather than a ``StudyStatistics`` so this
+    module keeps its import surface (analysis + tracing) free of the
+    pipeline.
+    """
+    table = TextTable(["fault kind", "injected"])
+    for kind in sorted(faults_by_kind):
+        table.add_row(kind, faults_by_kind[kind])
+    table.add_row("total", sum(faults_by_kind.values()))
+    share = (
+        f" ({degraded_domains / domain_count:.1%} of {domain_count})"
+        if domain_count
+        else ""
+    )
+    lines = [
+        table.render(),
+        f"retries spent: {retries_total}",
+        f"degraded domains: {degraded_domains}{share}",
+    ]
+    return "\n".join(lines)
+
+
 def timing_summary(stats: Mapping[str, SpanStats]) -> Dict[str, object]:
     """JSON-ready aggregate (the BENCH_obs.json payload)."""
     return {

@@ -17,6 +17,7 @@ measurement step (4) depends on:
 * RFC 6811 prefix origin validation (:mod:`repro.rpki.vrp`).
 """
 
+from repro.errors import ReproError
 from repro.rpki.cert import CertificateAuthority, ResourceCertificate
 from repro.rpki.crl import CertificateRevocationList
 from repro.rpki.errors import RPKIError, ValidationError
@@ -38,6 +39,7 @@ __all__ = [
     "ROA",
     "ROAPrefix",
     "RPKIError",
+    "ReproError",
     "RelyingParty",
     "Repository",
     "ResourceCertificate",

@@ -1,7 +1,9 @@
 """Exception hierarchy for the RPKI substrate."""
 
+from repro.errors import ReproError
 
-class RPKIError(Exception):
+
+class RPKIError(ReproError):
     """Base class for RPKI failures."""
 
 

@@ -11,6 +11,7 @@ package provides a wire-faithful Python implementation: binary PDU
 encoding, a serial-diff cache server, and a router-side client.
 """
 
+from repro.errors import ReproError
 from repro.rpki.rtr.cache import RTRCache
 from repro.rpki.rtr.client import RTRClient
 from repro.rpki.rtr.errors import RTRError, RTRProtocolError
@@ -45,6 +46,7 @@ __all__ = [
     "PduType",
     "RTRCache",
     "RTRClient",
+    "ReproError",
     "RTRError",
     "RTRProtocolError",
     "ResetQueryPDU",

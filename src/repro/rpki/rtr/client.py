@@ -66,19 +66,24 @@ class RTRClient:
     # -- queries ---------------------------------------------------------
 
     def start(self) -> None:
-        """Initial synchronisation: full snapshot via Reset Query."""
-        self._transport.send(ResetQueryPDU().encode())
+        """Initial synchronisation: full snapshot via Reset Query.
+
+        The state transition precedes the send: a fault-injected
+        transport may raise mid-query, and the session must already
+        read as SYNCING (query outstanding) rather than stale.
+        """
         self.state = ClientState.SYNCING
+        self._transport.send(ResetQueryPDU().encode())
 
     def refresh(self) -> None:
         """Incremental synchronisation from the last known serial."""
         if self.session_id is None or self.serial is None:
             self.start()
             return
+        self.state = ClientState.SYNCING
         self._transport.send(
             SerialQueryPDU(self.session_id, self.serial).encode()
         )
-        self.state = ClientState.SYNCING
 
     # -- event pump --------------------------------------------------------
 

@@ -1,7 +1,9 @@
 """Exception hierarchy for the RTR protocol."""
 
+from repro.errors import ReproError
 
-class RTRError(Exception):
+
+class RTRError(ReproError):
     """Base class for RTR failures."""
 
 

@@ -1,0 +1,443 @@
+"""Integration tests for the resilience layer and the RunConfig API.
+
+Covers the tentpole guarantees: a fixed seed and fault profile yield
+bit-identical StudyResults across every exec backend, retry
+exhaustion turns into per-domain degraded outcomes (never a failed
+study), the new statistics round-trip the wire codec and the metrics
+registry, and a run without a fault plan is exactly the pre-existing
+pipeline.
+"""
+
+import warnings
+
+import pytest
+
+from repro import obs
+from repro.core import MeasurementStudy, RunConfig, pipeline_statistics
+from repro.core.pipeline import StudyStatistics
+from repro.core.resilience import ResilientFunnel
+from repro.exec import (
+    Shard,
+    decode_measurements,
+    decode_statistics,
+    encode_measurements,
+    encode_statistics,
+    merge_statistics,
+    run_shard,
+)
+from repro.faults import (
+    DNS_SERVFAIL,
+    DNS_TIMEOUT,
+    DUMP_CORRUPT,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.web.alexa import AlexaRanking
+
+DOMAINS = 400
+
+
+@pytest.fixture(scope="module")
+def study(small_world):
+    """The funnel over the first 400 ranked domains of the world."""
+    return MeasurementStudy(
+        ranking=AlexaRanking(small_world.ranking.top(DOMAINS)),
+        resolver=small_world.resolvers()[0],
+        table_dump=small_world.table_dump,
+        payloads=small_world.payloads(),
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_result(study):
+    return study.run()
+
+
+@pytest.fixture(scope="module")
+def flaky_config():
+    return RunConfig(
+        faults=FaultPlan.from_profile("flaky", seed=42),
+        retry=RetryPolicy(max_attempts=3),
+    )
+
+
+@pytest.fixture(scope="module")
+def flaky_result(study, flaky_config):
+    return study.run(config=flaky_config)
+
+
+class TestRunConfigAPI:
+    def test_defaults_and_validation(self):
+        config = RunConfig()
+        assert config.workers == 1 and config.mode == "auto"
+        assert not config.resilient
+        with pytest.raises(ValueError):
+            RunConfig(workers=0)
+        with pytest.raises(ValueError):
+            RunConfig(mode="fibers")
+        with pytest.raises(ValueError):
+            RunConfig(shard_size=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RunConfig().workers = 2
+
+    def test_without_progress_strips_only_the_sink(self, flaky_config):
+        config = RunConfig(workers=3, progress=lambda event: None,
+                           faults=flaky_config.faults)
+        shipped = config.without_progress()
+        assert shipped.progress is None
+        assert shipped.workers == 3
+        assert shipped.faults == config.faults
+        # already-clean configs ship as-is
+        assert flaky_config.without_progress() is flaky_config
+
+    def test_config_run_equals_default_run(self, study, clean_result):
+        assert study.run(config=RunConfig()) == clean_result
+
+    def test_config_run_does_not_warn(self, study):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            study.run(config=RunConfig())
+            study.run()
+
+    def test_legacy_keywords_warn_and_still_work(self, study, clean_result):
+        with pytest.deprecated_call():
+            result = study.run(workers=2, mode="thread")
+        assert result == clean_result
+
+    def test_legacy_positional_progress_warns(self, study, clean_result):
+        events = []
+        with pytest.deprecated_call():
+            result = study.run(events.append)
+        assert result == clean_result
+        assert events and events[-1].finished
+
+    def test_config_plus_keywords_rejected(self, study):
+        with pytest.raises(TypeError):
+            study.run(RunConfig(), workers=2)
+        with pytest.raises(TypeError):
+            study.run(config=RunConfig(), mode="thread")
+
+
+class TestFaultDeterminism:
+    def test_fault_run_differs_from_clean_run(self, clean_result, flaky_result):
+        assert flaky_result != clean_result
+        stats = flaky_result.statistics
+        assert stats.degraded_domains > 0
+        assert stats.retries_total > 0
+        assert stats.faults_by_kind
+
+    def test_same_config_is_bit_identical(self, study, flaky_config,
+                                          flaky_result):
+        assert study.run(config=flaky_config) == flaky_result
+
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_identical_across_backends(self, study, flaky_config,
+                                       flaky_result, mode):
+        config = RunConfig(
+            workers=3, mode=mode, shard_size=64,
+            faults=flaky_config.faults, retry=flaky_config.retry,
+        )
+        parallel = study.run(config=config)
+        assert parallel == flaky_result
+        assert list(parallel) == list(flaky_result)
+        assert parallel.statistics == flaky_result.statistics
+
+    def test_shard_size_does_not_change_faults(self, study, flaky_config,
+                                               flaky_result):
+        for shard_size in (13, 150):
+            config = RunConfig(
+                workers=2, mode="thread", shard_size=shard_size,
+                faults=flaky_config.faults, retry=flaky_config.retry,
+            )
+            assert study.run(config=config) == flaky_result
+
+    def test_different_seed_different_outcome(self, study, flaky_config):
+        other = RunConfig(
+            faults=FaultPlan.from_profile("flaky", seed=43),
+            retry=flaky_config.retry,
+        )
+        assert study.run(config=other) != study.run(config=flaky_config)
+
+
+class TestDegradation:
+    def test_total_dns_outage_degrades_every_domain(self, study):
+        # With a single attempt every injected fault is terminal, so a
+        # rate-1.0 plan degrades the entire population at the DNS stage.
+        config = RunConfig(
+            faults=FaultPlan.from_rates(
+                {DNS_SERVFAIL: 1.0}, seed=1, max_consecutive=10
+            ),
+            retry=RetryPolicy(max_attempts=1),
+        )
+        result = study.run(config=config)
+        stats = result.statistics
+        assert stats.degraded_domains == DOMAINS
+        assert stats.retries_total == 0
+        for measurement in result:
+            assert measurement.degraded
+            for form in (measurement.www, measurement.plain):
+                assert form.degraded_stage == "dns"
+                assert not form.resolved
+                assert form.pairs == []
+                assert form.retries == 0
+                assert dict(form.faults)[DNS_SERVFAIL] == 1
+
+    def test_enough_attempts_heal_everything(self, study, clean_result):
+        # max_consecutive=1 means every faulty site recovers on its
+        # first retry; the funnel outcome must equal the clean run.
+        config = RunConfig(
+            faults=FaultPlan.from_rates(
+                {DNS_SERVFAIL: 0.3, DNS_TIMEOUT: 0.2, DUMP_CORRUPT: 0.2},
+                seed=4, max_consecutive=1,
+            ),
+            retry=RetryPolicy(max_attempts=3),
+        )
+        result = study.run(config=config)
+        stats = result.statistics
+        assert stats.degraded_domains == 0
+        assert stats.retries_total > 0
+        for healed, clean in zip(result, clean_result):
+            for form_h, form_c in [(healed.www, clean.www),
+                                   (healed.plain, clean.plain)]:
+                assert form_h.resolved == form_c.resolved
+                assert form_h.addresses == form_c.addresses
+                assert form_h.pairs == form_c.pairs
+                assert form_h.unreachable_addresses == form_c.unreachable_addresses
+
+    def test_prefix_degradation_keeps_dns_outcome(self, study):
+        config = RunConfig(
+            faults=FaultPlan.from_rates(
+                {DUMP_CORRUPT: 1.0}, seed=2, max_consecutive=10
+            ),
+            retry=RetryPolicy(max_attempts=2),
+        )
+        result = study.run(config=config)
+        degraded_forms = [
+            form
+            for measurement in result
+            for form in (measurement.www, measurement.plain)
+            if form.degraded_stage
+        ]
+        assert degraded_forms
+        for form in degraded_forms:
+            assert form.degraded_stage == "prefix"
+            assert form.resolved and form.addresses  # DNS survived
+            assert form.pairs == []
+            assert form.unreachable_addresses == 0  # trial copy discarded
+
+    def test_funnel_instances_are_interchangeable(self, study, flaky_config):
+        funnel_a = ResilientFunnel(
+            study.resolver, study.table_dump, study.payloads,
+            faults=flaky_config.faults, retry=flaky_config.retry,
+        )
+        funnel_b = ResilientFunnel(
+            study.resolver, study.table_dump, study.payloads,
+            faults=flaky_config.faults, retry=flaky_config.retry,
+        )
+        domains = study.ranking.top(40)
+        assert [funnel_a.measure_domain(d) for d in domains] == [
+            funnel_b.measure_domain(d) for d in domains
+        ]
+
+
+class TestStatisticsRoundTrips:
+    def test_merge_sums_resilience_fields(self):
+        a = StudyStatistics(domain_count=2, degraded_domains=1,
+                            retries_total=4,
+                            faults_by_kind={"dns.servfail": 3})
+        b = StudyStatistics(domain_count=3, degraded_domains=2,
+                            retries_total=1,
+                            faults_by_kind={"dns.servfail": 1,
+                                            "dump.corrupt": 5})
+        merged = merge_statistics([a, b])
+        assert merged.degraded_domains == 3
+        assert merged.retries_total == 5
+        assert merged.faults_by_kind == {"dns.servfail": 4, "dump.corrupt": 5}
+
+    def test_wire_statistics_round_trip(self, flaky_result):
+        stats = flaky_result.statistics
+        assert decode_statistics(encode_statistics(stats)) == stats
+
+    def test_wire_measurements_round_trip(self, flaky_result):
+        measurements = list(flaky_result)[:40]
+        domains = [m.domain for m in measurements]
+        decoded = decode_measurements(
+            encode_measurements(measurements), domains
+        )
+        assert decoded == measurements
+        for original, copy in zip(measurements, decoded):
+            for form_o, form_c in [(original.www, copy.www),
+                                   (original.plain, copy.plain)]:
+                assert form_c.degraded_stage == form_o.degraded_stage
+                assert form_c.retries == form_o.retries
+                assert form_c.faults == form_o.faults
+
+    def test_wire_form_stays_primitives_only(self, flaky_result):
+        def flatten(value):
+            if isinstance(value, (tuple, list)):
+                for item in value:
+                    yield from flatten(item)
+            else:
+                yield value
+
+        encoded = encode_measurements(list(flaky_result)[:40])
+        assert all(
+            isinstance(leaf, (str, bool, int)) for leaf in flatten(encoded)
+        )
+        assert all(
+            isinstance(leaf, (str, bool, int))
+            for leaf in flatten(encode_statistics(flaky_result.statistics))
+        )
+
+    def test_stats_metrics_round_trip(self, flaky_result):
+        registry = MetricsRegistry()
+        flaky_result.statistics.to_metrics(registry)
+        assert StudyStatistics.from_metrics(registry) == flaky_result.statistics
+
+
+class TestObservabilityUnderFaults:
+    def test_registry_cross_check_holds(self, study, flaky_config):
+        with obs.scope() as (registry, _collector):
+            result = study.run(config=flaky_config)
+            summary = pipeline_statistics(result, registry=registry)
+        stats = result.statistics
+        assert summary["degraded_domains"] == stats.degraded_domains
+        assert summary["retries_total"] == stats.retries_total
+        assert summary["faults_injected"] == stats.faults_total
+        degraded = registry.get("ripki_degraded_domains_total")
+        assert degraded.value == stats.degraded_domains
+        faults = registry.get("ripki_faults_injected_total")
+        by_kind = {key[0]: int(child.value)
+                   for key, child in faults.series() if child.value}
+        assert by_kind == stats.faults_by_kind
+
+    def test_parallel_registry_merge_matches_serial(self, study, flaky_config):
+        with obs.scope() as (serial_registry, _):
+            serial = study.run(config=flaky_config)
+        config = RunConfig(workers=3, mode="thread", shard_size=64,
+                           faults=flaky_config.faults,
+                           retry=flaky_config.retry)
+        with obs.scope() as (parallel_registry, _):
+            parallel = study.run(config=config)
+            pipeline_statistics(parallel, registry=parallel_registry)
+        assert parallel == serial
+
+        def funnel_series(registry):
+            return {
+                name: entry
+                for name, entry in registry.snapshot().items()
+                if name.startswith("ripki_")
+            }
+
+        assert funnel_series(parallel_registry) == funnel_series(serial_registry)
+
+    def test_clean_run_registers_no_resilience_series(self, study):
+        with obs.scope() as (registry, _collector):
+            study.run()
+        assert registry.get("ripki_degraded_domains_total") is None
+        assert registry.get("ripki_retries_total") is None
+        assert registry.get("ripki_faults_injected_total") is None
+
+    def test_clean_summary_has_no_resilience_keys(self, clean_result,
+                                                  flaky_result):
+        clean = pipeline_statistics(clean_result)
+        assert "degraded_domains" not in clean
+        flaky = pipeline_statistics(flaky_result)
+        assert flaky["degraded_domains"] > 0
+
+    def test_degradation_report_renders(self, flaky_result):
+        stats = flaky_result.statistics
+        report = obs.degradation_report(
+            stats.degraded_domains, stats.retries_total,
+            stats.faults_by_kind, stats.domain_count,
+        )
+        assert f"degraded domains: {stats.degraded_domains}" in report
+        assert "retries spent" in report
+        for kind in stats.faults_by_kind:
+            assert kind in report
+
+
+class TestShardFaultPath:
+    def test_run_shard_uses_the_funnel(self, study, flaky_config,
+                                       flaky_result):
+        domains = tuple(study.ranking.top(50))
+        shard = Shard(index=0, domains=domains)
+        outcome = run_shard(study, shard, observe=False, config=flaky_config)
+        assert outcome.measurements == list(flaky_result)[:50]
+        assert outcome.statistics.degraded_domains == sum(
+            1 for m in list(flaky_result)[:50] if m.degraded
+        )
+
+
+class TestRTRClientResilience:
+    def _session(self):
+        from repro.net import ASN, Prefix
+        from repro.rpki.rtr import RTRCache, RTRClient, TransportPair
+        from repro.rpki.vrp import VRP
+
+        pair = TransportPair()
+        cache = RTRCache(session_id=9)
+        cache.load([VRP(Prefix.parse("10.0.0.0/16"), 24, ASN(64500), "ta")])
+        return pair, cache, RTRClient
+
+    def test_start_is_syncing_even_when_send_drops(self):
+        from repro.faults import (
+            RTR_SESSION_DROP,
+            FaultyTransport,
+            InjectedRTRFault,
+        )
+        from repro.rpki.rtr.client import ClientState
+
+        pair, _cache, RTRClient = self._session()
+        plan = FaultPlan.from_rates({RTR_SESSION_DROP: 1.0})
+        client = RTRClient(FaultyTransport(pair.router_side, plan))
+        with pytest.raises(InjectedRTRFault):
+            client.start()
+        # The query is outstanding from the client's point of view; a
+        # late state write would have left it DISCONNECTED.
+        assert client.state is ClientState.SYNCING
+
+    def test_refresh_is_syncing_even_when_send_drops(self):
+        from repro.faults import (
+            RTR_SESSION_DROP,
+            FaultyTransport,
+            InjectedRTRFault,
+        )
+        from repro.rpki.rtr.client import ClientState
+
+        pair, cache, RTRClient = self._session()
+        client = RTRClient(pair.router_side)
+        client.start()
+        for _ in range(3):
+            cache.serve(pair.cache_side)
+            client.poll()
+        assert client.state is ClientState.SYNCHRONISED
+
+        plan = FaultPlan.from_rates({RTR_SESSION_DROP: 1.0})
+        client._transport = FaultyTransport(pair.router_side, plan)
+        with pytest.raises(InjectedRTRFault):
+            client.refresh()
+        assert client.state is ClientState.SYNCING
+
+    def test_cache_reset_storm_converges(self):
+        from repro.faults import RTR_CACHE_RESET, FaultyTransport
+        from repro.rpki.rtr.client import ClientState
+
+        pair, cache, RTRClient = self._session()
+        plan = FaultPlan.from_rates({RTR_CACHE_RESET: 0.5}, seed=8)
+        storms = []
+        client = RTRClient(
+            FaultyTransport(pair.router_side, plan, on_fault=storms.append)
+        )
+        client.start()
+        for _ in range(12):
+            cache.serve(pair.cache_side)
+            client.poll()
+            if client.state is ClientState.SYNCHRONISED:
+                break
+        assert storms.count(RTR_CACHE_RESET) >= 1
+        assert client.state is ClientState.SYNCHRONISED
+        assert len(client) == 1
