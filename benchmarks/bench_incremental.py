@@ -1,0 +1,106 @@
+"""Cold-vs-warm wall-clock benchmark for the snapshot cache.
+
+Builds one world, measures the study three times — uncached (the
+baseline), cold through an empty cache directory, and warm against
+the snapshot the cold run just wrote — verifies all three results are
+identical and that the warm run re-measured nothing, and records the
+timings (plus the warm speedup over the uncached baseline) in
+``BENCH_incremental.json`` so future perf PRs have a baseline::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py --domains 20000
+
+The warm run must beat the cold run by at least ``--min-speedup``
+(default 2.0) for the benchmark to exit 0; the uncached timing is
+recorded as context (it has no store to write or read, so it bounds
+the cache's bookkeeping overhead, not its savings).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import CacheConfig, MeasurementStudy, RunConfig
+from repro.web import EcosystemConfig, WebEcosystem
+
+DEFAULT_OUT = Path(__file__).parent / "BENCH_incremental.json"
+
+
+def measure(study: MeasurementStudy, config: RunConfig | None = None):
+    started = time.perf_counter()
+    if config is None:
+        result = study.run()
+    else:
+        result = study.run(config=config)
+    return result, time.perf_counter() - started
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--domains", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--cache-dir", default=None,
+                        help="snapshot directory (default: a fresh tempdir)")
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args()
+
+    print(f"building world: {args.domains} domains, seed {args.seed} ...")
+    build_started = time.perf_counter()
+    world = WebEcosystem.build(
+        EcosystemConfig(domain_count=args.domains, seed=args.seed)
+    )
+    build_seconds = time.perf_counter() - build_started
+    study = MeasurementStudy.from_ecosystem(world)
+
+    print("uncached run ...")
+    baseline_result, baseline_seconds = measure(study)
+    print(f"  {baseline_seconds:.2f}s")
+
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_dir = args.cache_dir or scratch
+        config = RunConfig(cache=CacheConfig(cache_dir))
+
+        print(f"cold cached run ({cache_dir}) ...")
+        cold_result, cold_seconds = measure(study, config)
+        print(f"  {cold_seconds:.2f}s")
+
+        print("warm cached run ...")
+        warm_result, warm_seconds = measure(study, config)
+        print(f"  {warm_seconds:.2f}s")
+
+    warm_misses = dict(warm_result.statistics.cache_misses_by_stage)
+    identical = (
+        list(cold_result) == list(baseline_result)
+        and list(warm_result) == list(baseline_result)
+    )
+    nothing_remeasured = not warm_misses
+    speedup = cold_seconds / warm_seconds if warm_seconds else 0.0
+    record = {
+        "domains": args.domains,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "build_seconds": round(build_seconds, 3),
+        "uncached_seconds": round(baseline_seconds, 3),
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "warm_speedup": round(speedup, 3),
+        "min_speedup": args.min_speedup,
+        "warm_cache_hits": warm_result.statistics.cache_hits_total,
+        "warm_cache_misses": warm_misses,
+        "results_identical": identical,
+    }
+    Path(args.out).write_text(json.dumps(record, indent=1) + "\n")
+    ok = identical and nothing_remeasured and speedup >= args.min_speedup
+    print(f"wrote {args.out}: warm speedup {speedup:.2f}x "
+          f"({'identical' if identical else 'MISMATCH'} results, "
+          f"{'no' if nothing_remeasured else 'WARM'} re-measurement)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

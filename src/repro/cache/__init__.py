@@ -1,0 +1,48 @@
+"""Persistent content-addressed snapshot cache (``repro.cache``).
+
+The steady-state workload of a production-scale RPKI measurement is
+delta-shaped: between two campaigns most zone records, table-dump rows
+and ROAs are unchanged, so most per-stage work — DNS answers per name
+form, prefix/origin matches per IP address, validation outcomes per
+(prefix, origin) pair — recomputes byte-identical artifacts.  This
+package stores those artifacts keyed by digests of their inputs
+(:mod:`repro.cache.fingerprint`), re-validates them at session open
+(:mod:`repro.cache.session`: whole-input digests fast-path, per-name
+zone fingerprints and a VRP-delta index for precision), and replays
+them through a caching funnel (:mod:`repro.cache.funnel`) whose warm
+measurements — and metric ticks, via captured metric deltas — are
+bit-identical to a cold run's.
+
+Wired in through :class:`repro.core.pipeline.CacheConfig` on a
+:class:`~repro.core.pipeline.RunConfig`; the sharded executor opens
+one :class:`CacheSession` per run, hands it to every shard, and folds
+the shards' fresh artifacts back into the store.
+"""
+
+from repro.cache.fingerprint import (
+    config_fingerprint,
+    dump_digest,
+    name_fingerprint,
+    vrp_digest,
+    vrp_items,
+    zone_digest,
+)
+from repro.cache.funnel import CachedFunnel
+from repro.cache.session import CacheSession
+from repro.cache.store import STAGES, STORE_VERSION, load_store, save_store, store_path
+
+__all__ = [
+    "STAGES",
+    "STORE_VERSION",
+    "CacheSession",
+    "CachedFunnel",
+    "config_fingerprint",
+    "dump_digest",
+    "load_store",
+    "name_fingerprint",
+    "save_store",
+    "store_path",
+    "vrp_digest",
+    "vrp_items",
+    "zone_digest",
+]

@@ -1,0 +1,143 @@
+"""On-disk format of the snapshot store.
+
+One JSON file (``snapshot.json``) per cache directory holds the input
+digests the artifacts were computed under, the VRP set itself (the
+delta index needs the old set, not just its digest), and four
+artifact maps — one per stage granularity:
+
+* ``dns``    — per name form: the DNS answer,
+* ``prefix`` — per IP address: its (prefix, origin) matches,
+* ``rpki``   — per (prefix, origin) pair: its validation outcome,
+* ``form``   — per name form: a whole-funnel measurement (fault runs
+  only, where per-stage splitting would break retry determinism).
+
+Every artifact carries the metric delta its computation produced (the
+:func:`repro.obs.metrics.registry_to_wire` form) so cache hits replay
+the exact counter ticks of a recomputation.  Those deltas repeat the
+same few metric descriptors tens of thousands of times, so the store
+interns descriptors into one table on save and expands them on load —
+in memory and on the wire the deltas stay self-contained.
+
+Everything in the file is JSON primitives; keys are strings.  A
+missing, corrupt, or differently-versioned file loads as ``None`` and
+the session starts cold — the store is a cache, never a source of
+truth.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+STORE_VERSION = 1
+STORE_FILENAME = "snapshot.json"
+
+# Stage granularities, in the order the funnel runs them.
+STAGES: Tuple[str, ...] = ("dns", "prefix", "rpki", "form")
+
+# Index of the metric-delta slot inside each stage's artifact list.
+DELTAS_INDEX: Dict[str, int] = {"dns": 5, "prefix": 3, "rpki": 1, "form": 2}
+
+
+def store_path(directory: str) -> str:
+    return os.path.join(directory, STORE_FILENAME)
+
+
+def _intern_deltas(stages: Dict[str, dict]) -> Tuple[Dict[str, dict], List[list]]:
+    """Copy ``stages`` with metric descriptors replaced by table indices."""
+    table: List[list] = []
+    index_of: Dict[tuple, int] = {}
+    compact_stages: Dict[str, dict] = {}
+    for stage, entries in stages.items():
+        slot = DELTAS_INDEX[stage]
+        compact_entries = {}
+        for key, entry in entries.items():
+            compact = list(entry)
+            interned = []
+            for name, kind, help, labelnames, buckets, series in entry[slot]:
+                descriptor = (
+                    name,
+                    kind,
+                    help,
+                    tuple(labelnames),
+                    tuple(buckets) if buckets is not None else None,
+                )
+                index = index_of.get(descriptor)
+                if index is None:
+                    index = len(table)
+                    index_of[descriptor] = index
+                    table.append(
+                        [name, kind, help, list(labelnames), buckets]
+                    )
+                interned.append([index, series])
+            compact[slot] = interned
+            compact_entries[key] = compact
+        compact_stages[stage] = compact_entries
+    return compact_stages, table
+
+
+def _expand_deltas(stages: Dict[str, dict], table: List[list]) -> Dict[str, dict]:
+    """Inverse of :func:`_intern_deltas`; raises on a malformed store."""
+    expanded_stages: Dict[str, dict] = {}
+    for stage, entries in stages.items():
+        slot = DELTAS_INDEX[stage]
+        expanded_entries = {}
+        for key, entry in entries.items():
+            expanded = list(entry)
+            expanded[slot] = [
+                list(table[index]) + [series] for index, series in entry[slot]
+            ]
+            expanded_entries[key] = expanded
+        expanded_stages[stage] = expanded_entries
+    return expanded_stages
+
+
+def save_store(
+    directory: str,
+    digests: Dict[str, str],
+    vrp_set: List[list],
+    stages: Dict[str, dict],
+) -> str:
+    """Write the store; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    compact_stages, table = _intern_deltas(
+        {stage: stages.get(stage, {}) for stage in STAGES}
+    )
+    payload = {
+        "version": STORE_VERSION,
+        "digests": digests,
+        "vrp_set": vrp_set,
+        "metrics": table,
+        "stages": compact_stages,
+    }
+    path = store_path(directory)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w") as handle:
+        json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
+    os.replace(tmp_path, path)
+    return path
+
+
+def load_store(directory: str) -> Optional[dict]:
+    """Read the store back, or ``None`` for anything unusable."""
+    try:
+        with open(store_path(directory)) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or payload.get("version") != STORE_VERSION:
+        return None
+    try:
+        payload["stages"] = _expand_deltas(
+            payload["stages"], payload["metrics"]
+        )
+        payload["digests"]["zone"]  # structural sanity
+        payload["digests"]["dump"]
+        payload["digests"]["vrps"]
+        payload["digests"]["config"]
+        payload["vrp_set"]
+    except (KeyError, IndexError, TypeError):
+        return None
+    return payload

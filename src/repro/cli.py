@@ -14,6 +14,8 @@ from typing import List, Optional
 
 from repro.analysis import TextTable
 from repro.core import (
+    CacheConfig,
+    ContinuousStudy,
     MeasurementStudy,
     RunConfig,
     cdn_as_report,
@@ -69,6 +71,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write Prometheus text metrics to FILE")
     run.add_argument("--trace-out", metavar="FILE", default=None,
                      help="write the span trace as JSON to FILE")
+    run.add_argument("--cache-dir", metavar="DIR", default=None,
+                     help="persist per-stage artifacts under DIR; a "
+                          "re-run with unchanged inputs recomputes "
+                          "nothing and returns a bit-identical result")
+
+    refresh = sub.add_parser(
+        "refresh",
+        help="continuous-measurement campaigns over a churning world: "
+             "a full baseline, then incremental refreshes that "
+             "re-measure only what changed",
+    )
+    refresh.add_argument("--domains", type=int, default=5_000)
+    refresh.add_argument("--seed", type=int, default=2015)
+    refresh.add_argument("--campaigns", type=int, default=3,
+                         help="refresh campaigns after the baseline")
+    refresh.add_argument("--churn", type=float, default=0.05,
+                         help="fraction of domains re-hosted between "
+                              "campaigns")
+    refresh.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="snapshot-cache refreshes (exact carry-over "
+                              "keyed by input digests) instead of the "
+                              "www/apex equality heuristic")
+    refresh.add_argument("--metrics-out", metavar="FILE", default=None,
+                         help="write Prometheus text metrics to FILE")
 
     export = sub.add_parser(
         "export",
@@ -146,6 +172,7 @@ def run_study(args: argparse.Namespace) -> int:
             ),
             faults=faults,
             progress=progress,
+            cache=CacheConfig(args.cache_dir) if args.cache_dir else None,
         )
         result = MeasurementStudy.from_ecosystem(world).run(config=config)
         label = f" ({args.workers} workers)" if args.workers > 1 else ""
@@ -165,6 +192,15 @@ def run_study(args: argparse.Namespace) -> int:
                 s.retries_total,
                 s.faults_by_kind,
                 s.domain_count,
+            ))
+
+        if args.cache_dir:
+            s = result.statistics
+            print(f"\n== Snapshot cache ({args.cache_dir}) ==")
+            print(obs.cache_report(
+                s.cache_hits_by_stage,
+                s.cache_misses_by_stage,
+                s.cache_invalidated_by_stage,
             ))
 
         _render_figures(args, wanted, world, result)
@@ -213,6 +249,60 @@ def _render_figures(args, wanted, world, result) -> None:
     if "cdn-as" in wanted:
         print("\n== Section 4.2: CDN ASes in the RPKI ==")
         print("  " + cdn_as_report(world).summary())
+
+
+def run_refresh(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    observe = bool(args.metrics_out)
+    registry = None
+    if observe:
+        registry, _collector = obs.enable()
+    try:
+        print(f"building world: {args.domains} domains, seed {args.seed} ...")
+        world = WebEcosystem.build(
+            EcosystemConfig(domain_count=args.domains, seed=args.seed)
+        )
+        study = MeasurementStudy.from_ecosystem(world)
+        config = (
+            RunConfig(cache=CacheConfig(args.cache_dir))
+            if args.cache_dir
+            else None
+        )
+        continuous = ContinuousStudy(study, config)
+        started = time.time()
+        baseline = continuous.baseline()
+        print(
+            f"  baseline: {len(baseline)} domains "
+            f"in {time.time() - started:.1f}s"
+        )
+        mode = "cache" if args.cache_dir else "heuristic"
+        for campaign in range(1, args.campaigns + 1):
+            moved = world.rehost(args.churn, generation=campaign)
+            started = time.time()
+            result, stats = continuous.refresh()
+            print(
+                f"  campaign {campaign} ({mode}): {len(moved)} re-hosted, "
+                f"{stats.total_queries} queries, "
+                f"{stats.total_carried} carried over "
+                f"({stats.saving_fraction:.1%} saved) "
+                f"in {time.time() - started:.1f}s"
+            )
+            if args.cache_dir:
+                s = result.statistics
+                invalidated = sum(s.cache_invalidated_by_stage.values())
+                print(
+                    f"    cache: {s.cache_hits_total} hits, "
+                    f"{s.cache_misses_total} misses, "
+                    f"{invalidated} artifacts invalidated"
+                )
+        if observe and args.metrics_out:
+            size = registry.write_prometheus(args.metrics_out)
+            print(f"  metrics: {args.metrics_out} ({size} bytes)")
+    finally:
+        if observe:
+            obs.disable()
+    return 0
 
 
 def run_export(args: argparse.Namespace) -> int:
@@ -271,6 +361,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return run_study(args)
+    if args.command == "refresh":
+        return run_refresh(args)
     if args.command == "export":
         return run_export(args)
     if args.command == "audit":

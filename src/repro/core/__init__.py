@@ -20,6 +20,7 @@ from repro.core.cdn_detection import ChainHeuristic
 from repro.core.continuous import ContinuousStudy, compare_results
 from repro.core.exposure import ExposureReport, analyse_exposure
 from repro.core.pipeline import (
+    CacheConfig,
     MeasurementStudy,
     RunConfig,
     StudyResult,
@@ -40,6 +41,7 @@ from repro.core.reports import (
 
 __all__ = [
     "CDNASReport",
+    "CacheConfig",
     "ChainHeuristic",
     "ContinuousStudy",
     "DomainMeasurement",

@@ -24,29 +24,70 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.pipeline import MeasurementStudy, StudyResult, StudyStatistics
+from repro.core.pipeline import (
+    MeasurementStudy,
+    RunConfig,
+    StudyResult,
+    StudyStatistics,
+)
 from repro.core.records import DomainMeasurement, NameMeasurement
+from repro.obs.runtime import metrics
+
+REFRESH_QUERIES_METRIC = "ripki_refresh_queries_total"
+REFRESH_CARRYOVER_METRIC = "ripki_refresh_carryover_total"
+_REFRESH_HELP = {
+    REFRESH_QUERIES_METRIC:
+        "Name forms actually re-measured by refresh campaigns",
+    REFRESH_CARRYOVER_METRIC:
+        "Name forms served from the previous campaign or the cache",
+}
 
 
 @dataclass
 class RefreshStats:
-    """Work accounting for one refresh campaign."""
+    """Work accounting for one refresh campaign.
+
+    The www/apex equality heuristic only ever skips ``www`` forms, so
+    ``apex_carried_over`` stays zero on heuristic refreshes; the
+    snapshot cache (``RunConfig.cache``) also serves unchanged apex
+    forms, and cache-backed refreshes count those here.
+    """
 
     apex_measured: int = 0
     www_measured: int = 0
     www_carried_over: int = 0
+    apex_carried_over: int = 0
 
     @property
     def total_queries(self) -> int:
         return self.apex_measured + self.www_measured
 
     @property
+    def total_carried(self) -> int:
+        return self.www_carried_over + self.apex_carried_over
+
+    @property
     def saving_fraction(self) -> float:
-        """Query saving versus a full two-form campaign."""
-        full = 2 * self.apex_measured
-        if full == 0:
+        """Fraction of this campaign's name forms served without a query.
+
+        Equals the legacy ``1 - total_queries / (2 * apex_measured)``
+        on heuristic refreshes (where every apex is re-measured and
+        every skipped form is a www), and extends to cache-backed
+        refreshes where apex forms can be carried over too.
+        """
+        forms = self.total_queries + self.total_carried
+        if forms == 0:
             return 0.0
-        return 1.0 - self.total_queries / full
+        return 1.0 - self.total_queries / forms
+
+    def to_metrics(self, registry) -> None:
+        """Tick this campaign's work into ``registry``'s counters."""
+        registry.counter(
+            REFRESH_QUERIES_METRIC, _REFRESH_HELP[REFRESH_QUERIES_METRIC]
+        ).inc(self.total_queries)
+        registry.counter(
+            REFRESH_CARRYOVER_METRIC, _REFRESH_HELP[REFRESH_CARRYOVER_METRIC]
+        ).inc(self.total_carried)
 
 
 @dataclass
@@ -71,22 +112,62 @@ def _apex_fingerprint(measurement: NameMeasurement) -> Tuple:
 
 
 class ContinuousStudy:
-    """A repeatable campaign over one study configuration."""
+    """A repeatable campaign over one study configuration.
 
-    def __init__(self, study: MeasurementStudy):
+    With a plain config the refresh uses the paper's www/apex equality
+    heuristic (bounded staleness, roughly halved query volume).  With
+    a cache-carrying :class:`~repro.core.pipeline.RunConfig` the
+    refresh instead runs the study through the snapshot cache: every
+    form whose inputs are unchanged is carried over *exactly* (no
+    staleness), and the refresh accounting is derived from the cache
+    hit/miss counters.
+    """
+
+    def __init__(
+        self, study: MeasurementStudy, config: Optional[RunConfig] = None
+    ):
         self._study = study
+        self._config = config
         self._previous: Optional[StudyResult] = None
 
     def baseline(self) -> StudyResult:
         """The initial full campaign (both name forms everywhere)."""
-        result = self._study.run()
+        if self._config is not None:
+            result = self._study.run(config=self._config)
+        else:
+            result = self._study.run()
         self._previous = result
         return result
 
     def refresh(self) -> Tuple[StudyResult, RefreshStats]:
-        """An incremental campaign exploiting www/apex equality."""
+        """An incremental campaign; see the class docstring for modes."""
         if self._previous is None:
             raise RuntimeError("call baseline() before refresh()")
+        if self._config is not None and self._config.cache is not None:
+            result, stats = self._cached_refresh()
+        else:
+            result, stats = self._heuristic_refresh()
+        stats.to_metrics(metrics())
+        self._previous = result
+        return result, stats
+
+    def _cached_refresh(self) -> Tuple[StudyResult, RefreshStats]:
+        result = self._study.run(config=self._config)
+        hits = result.statistics.cache_hits_by_stage
+        misses = result.statistics.cache_misses_by_stage
+        stats = RefreshStats(
+            apex_measured=misses.get("dns.plain", 0)
+            + misses.get("form.plain", 0),
+            www_measured=misses.get("dns.www", 0)
+            + misses.get("form.www", 0),
+            www_carried_over=hits.get("dns.www", 0)
+            + hits.get("form.www", 0),
+            apex_carried_over=hits.get("dns.plain", 0)
+            + hits.get("form.plain", 0),
+        )
+        return result, stats
+
+    def _heuristic_refresh(self) -> Tuple[StudyResult, RefreshStats]:
         stats = RefreshStats()
         measurements: List[DomainMeasurement] = []
         aggregate = StudyStatistics(domain_count=len(self._study._ranking))
@@ -103,9 +184,7 @@ class ContinuousStudy:
             measurement = DomainMeasurement(domain=domain, www=www, plain=plain)
             measurements.append(measurement)
             MeasurementStudy._accumulate(aggregate, measurement)
-        result = StudyResult(measurements, aggregate)
-        self._previous = result
-        return result, stats
+        return StudyResult(measurements, aggregate), stats
 
     @staticmethod
     def _must_remeasure_www(

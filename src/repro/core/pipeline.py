@@ -50,6 +50,21 @@ _RESILIENCE_METRICS: Dict[str, str] = {
 }
 _FAULTS_METRIC = "ripki_faults_injected_total"
 
+# Snapshot-cache counters — registered and ticked only on cache-backed
+# runs, so a run without a cache emits byte-identical metrics to one
+# predating the cache layer.  Labelled by stage key: per-stage keys
+# ("dns.www", "dns.plain", "prefix", "rpki") on plain runs, form-level
+# keys ("form.www", "form.plain") on fault runs, and for invalidation
+# the store stages ("dns", "prefix", "rpki", "form") plus "config".
+CACHE_HITS_METRIC = "ripki_cache_hits_total"
+CACHE_MISSES_METRIC = "ripki_cache_misses_total"
+CACHE_INVALIDATED_METRIC = "ripki_cache_invalidated_total"
+_CACHE_STAT_METRICS: Dict[str, str] = {
+    "cache_hits_by_stage": CACHE_HITS_METRIC,
+    "cache_misses_by_stage": CACHE_MISSES_METRIC,
+    "cache_invalidated_by_stage": CACHE_INVALIDATED_METRIC,
+}
+
 _STAT_HELP = {
     "ripki_domains_measured_total": "Domains pushed through the funnel",
     "ripki_invalid_dns_domains_total":
@@ -64,6 +79,11 @@ _STAT_HELP = {
         "Domains with a name form that exhausted its retry budget",
     "ripki_retries_total": "Stage retries spent across all domains",
     "ripki_faults_injected_total": "Injected faults observed, by kind",
+    "ripki_cache_hits_total": "Snapshot-cache artifacts served, by stage",
+    "ripki_cache_misses_total":
+        "Snapshot-cache stage computations recorded, by stage",
+    "ripki_cache_invalidated_total":
+        "Stored artifacts dropped at session open, by stage",
 }
 
 # Stage name -> the counter that proves the stage observed work.
@@ -77,11 +97,14 @@ PIPELINE_STAGES: Dict[str, str] = {
 ProgressSink = Union[ProgressReporter, Callable[[ProgressEvent], None]]
 
 
-def _register_funnel_counters(registry, resilient: bool = False) -> None:
+def _register_funnel_counters(
+    registry, resilient: bool = False, cached: bool = False
+) -> None:
     """Create every funnel series up front so zero counts are explicit.
 
     The resilience counters exist only on fault-injected runs
-    (``resilient=True``); plain runs keep their metric output
+    (``resilient=True``) and the cache counters only on cache-backed
+    runs (``cached=True``); other runs keep their metric output
     unchanged.
     """
     for metric, labels in _STAT_METRICS.values():
@@ -94,6 +117,23 @@ def _register_funnel_counters(registry, resilient: bool = False) -> None:
             registry.counter(metric, _STAT_HELP[metric])
         registry.counter(
             _FAULTS_METRIC, _STAT_HELP[_FAULTS_METRIC], labelnames=("kind",)
+        )
+    if cached:
+        stage_keys = (
+            ("form.www", "form.plain")
+            if resilient
+            else ("dns.www", "dns.plain", "prefix", "rpki")
+        )
+        for metric in (CACHE_HITS_METRIC, CACHE_MISSES_METRIC):
+            counter = registry.counter(
+                metric, _STAT_HELP[metric], labelnames=("stage",)
+            )
+            for stage_key in stage_keys:
+                counter.labels(stage=stage_key)
+        registry.counter(
+            CACHE_INVALIDATED_METRIC,
+            _STAT_HELP[CACHE_INVALIDATED_METRIC],
+            labelnames=("stage",),
         )
 
 
@@ -113,10 +153,23 @@ class StudyStatistics:
     degraded_domains: int = 0         # a name form exhausted its retries
     retries_total: int = 0            # stage retries spent across domains
     faults_by_kind: Dict[str, int] = field(default_factory=dict)
+    # Snapshot-cache accounting (all empty unless the run was
+    # cache-backed); keyed by stage key, nonzero counts only.
+    cache_hits_by_stage: Dict[str, int] = field(default_factory=dict)
+    cache_misses_by_stage: Dict[str, int] = field(default_factory=dict)
+    cache_invalidated_by_stage: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_addresses(self) -> int:
         return self.www_addresses + self.plain_addresses
+
+    @property
+    def cache_hits_total(self) -> int:
+        return sum(self.cache_hits_by_stage.values())
+
+    @property
+    def cache_misses_total(self) -> int:
+        return sum(self.cache_misses_by_stage.values())
 
     @property
     def faults_total(self) -> int:
@@ -170,6 +223,15 @@ class StudyStatistics:
             )
             for kind, count in sorted(self.faults_by_kind.items()):
                 faults.labels(kind=kind).inc(count)
+        for field_name, metric in _CACHE_STAT_METRICS.items():
+            mapping = getattr(self, field_name)
+            if not mapping:
+                continue
+            counter = registry.counter(
+                metric, _STAT_HELP[metric], labelnames=("stage",)
+            )
+            for stage_key, count in sorted(mapping.items()):
+                counter.labels(stage=stage_key).inc(count)
 
     @classmethod
     def from_metrics(cls, registry) -> "StudyStatistics":
@@ -191,6 +253,14 @@ class StudyStatistics:
             for key, child in faults.series():
                 if child.value:
                     stats.faults_by_kind[key[0]] = int(child.value)
+        for field_name, metric in _CACHE_STAT_METRICS.items():
+            instrument = registry.get(metric)
+            if instrument is None:
+                continue
+            mapping = getattr(stats, field_name)
+            for key, child in instrument.series():
+                if child.value:
+                    mapping[key[0]] = int(child.value)
         return stats
 
     def observed_stages(self, registry) -> List[str]:
@@ -355,6 +425,23 @@ def accumulate_measurement(
 
 
 @dataclass(frozen=True)
+class CacheConfig:
+    """Where (and whether) a run persists its snapshot cache.
+
+    ``directory`` holds one store file (``snapshot.json``); ``save``
+    set to False makes the run read-only against an existing store —
+    useful for replays that must not advance the cache state.
+    """
+
+    directory: str
+    save: bool = True
+
+    def __post_init__(self):
+        if not self.directory:
+            raise ValueError("cache directory must be non-empty")
+
+
+@dataclass(frozen=True)
 class RunConfig:
     """Everything one :meth:`MeasurementStudy.run` needs, in one value.
 
@@ -372,6 +459,7 @@ class RunConfig:
     retry: RetryPolicy = DEFAULT_RETRY_POLICY
     faults: Optional[FaultPlan] = None
     progress: Optional[ProgressSink] = None
+    cache: Optional[CacheConfig] = None
 
     def __post_init__(self):
         if self.workers < 1:
@@ -396,6 +484,7 @@ class RunConfig:
             shard_size=self.shard_size,
             retry=self.retry,
             faults=self.faults,
+            cache=self.cache,
         )
 
 
@@ -472,7 +561,14 @@ class MeasurementStudy:
             mode=mode,
             shard_size=shard_size,
         )
-        if config.workers > 1 or config.mode not in ("auto", "serial"):
+        if (
+            config.workers > 1
+            or config.mode not in ("auto", "serial")
+            or config.cache is not None
+        ):
+            # Cache-backed runs also route through the executor: it
+            # owns the session open/adopt/save lifecycle, and a
+            # one-shard serial run through it is the serial loop.
             from repro.exec import execute_study
 
             return execute_study(self, config=config)

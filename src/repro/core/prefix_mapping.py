@@ -18,6 +18,41 @@ from repro.obs.runtime import metrics, tracer
 from repro.core.records import NameMeasurement
 
 
+def map_single_address(
+    dump: TableDump, address: Address
+) -> Tuple[List[Tuple[Prefix, ASN]], int, int]:
+    """Step 3 for one address: ``(pairs, unreachable, as_set_excluded)``.
+
+    Ticks the stage counters for exactly this address's share of the
+    work, so the snapshot cache can capture the metric delta of one
+    address as its artifact and replay it on a later hit.
+    """
+    counters = metrics()
+    counters.counter(
+        "ripki_prefix_lookups_total", "Addresses pushed through step 3"
+    ).inc()
+    entries = dump.covering_entries(address)
+    if not entries:
+        counters.counter(
+            "ripki_unreachable_addresses_total",
+            "Addresses with no covering prefix in the table dump",
+        ).inc()
+        return [], 1, 0
+    pairs: Set[Tuple[Prefix, ASN]] = set()
+    as_set_excluded = 0
+    for entry in entries:
+        origin = entry.origin
+        if origin is None:
+            as_set_excluded += 1
+            counters.counter(
+                "ripki_as_set_exclusions_total",
+                "Table rows skipped for an AS_SET origin (RFC 6472)",
+            ).inc()
+            continue
+        pairs.add((entry.prefix, origin))
+    return sorted(pairs), 0, as_set_excluded
+
+
 def map_addresses(
     dump: TableDump, measurement: NameMeasurement
 ) -> List[Tuple[Prefix, ASN]]:
@@ -26,29 +61,13 @@ def map_addresses(
     Side effects on ``measurement``: counts unreachable addresses and
     AS_SET-excluded rows.
     """
-    counters = metrics()
     pairs: Set[Tuple[Prefix, ASN]] = set()
     with tracer().span("stage.prefix", name=measurement.name):
-        counters.counter(
-            "ripki_prefix_lookups_total", "Addresses pushed through step 3"
-        ).inc(len(measurement.addresses))
         for address in measurement.addresses:
-            entries = dump.covering_entries(address)
-            if not entries:
-                measurement.unreachable_addresses += 1
-                counters.counter(
-                    "ripki_unreachable_addresses_total",
-                    "Addresses with no covering prefix in the table dump",
-                ).inc()
-                continue
-            for entry in entries:
-                origin = entry.origin
-                if origin is None:
-                    measurement.as_set_excluded += 1
-                    counters.counter(
-                        "ripki_as_set_exclusions_total",
-                        "Table rows skipped for an AS_SET origin (RFC 6472)",
-                    ).inc()
-                    continue
-                pairs.add((entry.prefix, origin))
+            mapped, unreachable, as_set_excluded = map_single_address(
+                dump, address
+            )
+            pairs.update(mapped)
+            measurement.unreachable_addresses += unreachable
+            measurement.as_set_excluded += as_set_excluded
     return sorted(pairs)

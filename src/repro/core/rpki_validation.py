@@ -15,6 +15,28 @@ from repro.rpki import ValidatedPayloads
 from repro.core.records import PrefixOriginPair
 
 
+def validate_single_pair(
+    payloads: ValidatedPayloads, prefix: Prefix, origin: ASN
+) -> PrefixOriginPair:
+    """Step 4 for one (prefix, origin) pair, ticking its outcome counter.
+
+    The per-pair granularity lets the snapshot cache capture the
+    metric delta of one validation as its artifact and replay it on a
+    later hit.
+    """
+    pair = PrefixOriginPair(
+        prefix=prefix,
+        origin=origin,
+        state=payloads.validate_origin(prefix, origin),
+    )
+    metrics().counter(
+        "ripki_rpki_validations_total",
+        "Step-4 origin validations by RFC 6811 outcome",
+        labelnames=("state",),
+    ).labels(state=pair.state.name.lower()).inc()
+    return pair
+
+
 def validate_pairs(
     payloads: ValidatedPayloads,
     pairs: Iterable[Tuple[Prefix, ASN]],
@@ -22,18 +44,7 @@ def validate_pairs(
     """Annotate each pair with its origin-validation outcome."""
     with tracer().span("stage.rpki"):
         validated = [
-            PrefixOriginPair(
-                prefix=prefix,
-                origin=origin,
-                state=payloads.validate_origin(prefix, origin),
-            )
+            validate_single_pair(payloads, prefix, origin)
             for prefix, origin in pairs
         ]
-        outcomes = metrics().counter(
-            "ripki_rpki_validations_total",
-            "Step-4 origin validations by RFC 6811 outcome",
-            labelnames=("state",),
-        )
-        for pair in validated:
-            outcomes.labels(state=pair.state.name.lower()).inc()
     return validated

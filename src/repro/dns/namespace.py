@@ -70,6 +70,26 @@ class Namespace:
     def names(self) -> Iterator[str]:
         return iter(self._names)
 
+    def content_items(self) -> List[Tuple[str, str, str, str]]:
+        """Every record as a sorted ``(name, rtype, vantage, data)`` row.
+
+        A canonical, order-insensitive view of the zone: two namespaces
+        holding the same records yield the same list regardless of
+        registration order, so the snapshot cache can digest it as the
+        zone identity.
+        """
+        items: List[Tuple[str, str, str, str]] = []
+        for (name, rtype, vantage), records in self._records.items():
+            for record in records:
+                data = (
+                    record.target
+                    if rtype is RecordType.CNAME
+                    else str(record.address)
+                )
+                items.append((name, rtype.value, vantage, data))
+        items.sort()
+        return items
+
     def __len__(self) -> int:
         """Total number of registered records."""
         return sum(len(records) for records in self._records.values())

@@ -82,6 +82,11 @@ class RecursiveResolver:
         self._cache_size = cache_size
         self._cache: dict = {}
 
+    @property
+    def namespace(self) -> Namespace:
+        """The record namespace this resolver answers from."""
+        return self._namespace
+
     def resolve(
         self,
         name: str,

@@ -52,6 +52,11 @@ class PublicResolver:
     def vantage(self) -> str:
         return self.spec.vantage
 
+    @property
+    def namespace(self) -> Namespace:
+        """The record namespace the resolver answers from."""
+        return self._resolver.namespace
+
     def resolve(self, name: str) -> Answer:
         return self._resolver.resolve(name)
 

@@ -13,8 +13,10 @@ compact wire form of :mod:`repro.exec.codec`.
 
 from repro.exec.codec import (
     decode_measurements,
+    decode_name,
     decode_statistics,
     encode_measurements,
+    encode_name,
     encode_statistics,
 )
 from repro.exec.executor import (
@@ -37,9 +39,11 @@ __all__ = [
     "Shard",
     "ShardOutcome",
     "decode_measurements",
+    "decode_name",
     "decode_statistics",
     "default_shard_size",
     "encode_measurements",
+    "encode_name",
     "encode_statistics",
     "execute_study",
     "merge_statistics",

@@ -47,9 +47,10 @@ WireName = Tuple[str, bool, list, int, int, int, int, list, str, int, list]
 WireMeasurement = Tuple[WireName, WireName]
 
 # StudyStatistics as primitives: the integer fields in declaration
-# order, then faults_by_kind as sorted (kind, count) pairs.
+# order, then each mapping field (faults_by_kind and the three
+# cache-by-stage dicts) as sorted (key, count) pairs.
 WireStatistics = Tuple[
-    int, int, int, int, int, int, int, int, int, int, list
+    int, int, int, int, int, int, int, int, int, int, list, list, list, list
 ]
 
 
@@ -167,10 +168,25 @@ def encode_statistics(stats: StudyStatistics) -> WireStatistics:
         stats.degraded_domains,
         stats.retries_total,
         sorted(stats.faults_by_kind.items()),
+        sorted(stats.cache_hits_by_stage.items()),
+        sorted(stats.cache_misses_by_stage.items()),
+        sorted(stats.cache_invalidated_by_stage.items()),
     )
 
 
 def decode_statistics(wire: WireStatistics) -> StudyStatistics:
     """Rebuild shard statistics; exact inverse of :func:`encode_statistics`."""
-    *counts, faults = wire
-    return StudyStatistics(*counts, faults_by_kind=dict(faults))
+    *counts, faults, hits, misses, invalidated = wire
+    return StudyStatistics(
+        *counts,
+        faults_by_kind=dict(faults),
+        cache_hits_by_stage=dict(hits),
+        cache_misses_by_stage=dict(misses),
+        cache_invalidated_by_stage=dict(invalidated),
+    )
+
+
+# Public aliases: the snapshot cache stores whole-form measurements in
+# exactly this wire form (one artifact per name form on fault runs).
+encode_name = _encode_name
+decode_name = _decode_name

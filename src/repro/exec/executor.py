@@ -88,6 +88,9 @@ class ShardOutcome:
     metrics: Optional[MetricsRegistry] = None
     spans: List[Span] = field(default_factory=list)
     dropped_spans: int = 0
+    # Fresh snapshot-cache artifacts (stage -> key -> entry) on
+    # cache-backed runs; adopted by the parent's session in shard order.
+    cache_entries: Optional[dict] = None
 
 
 def merge_statistics(parts) -> StudyStatistics:
@@ -108,6 +111,14 @@ def merge_statistics(parts) -> StudyStatistics:
             total.faults_by_kind[kind] = (
                 total.faults_by_kind.get(kind, 0) + count
             )
+        for field_name in (
+            "cache_hits_by_stage",
+            "cache_misses_by_stage",
+            "cache_invalidated_by_stage",
+        ):
+            merged = getattr(total, field_name)
+            for stage_key, count in sorted(getattr(part, field_name).items()):
+                merged[stage_key] = merged.get(stage_key, 0) + count
     return total
 
 
@@ -116,6 +127,7 @@ def run_shard(
     shard: Shard,
     observe: bool,
     config: Optional[RunConfig] = None,
+    session=None,
 ) -> ShardOutcome:
     """Steps 2-4 for one shard, recorded into shard-local sinks.
 
@@ -127,18 +139,34 @@ def run_shard(
     A resilient ``config`` (one carrying a fault plan) routes the
     shard through a fresh :class:`~repro.core.resilience.ResilientFunnel`;
     fault decisions are pure functions of the plan, so per-shard
-    funnels reproduce the serial run's outcomes exactly.
+    funnels reproduce the serial run's outcomes exactly.  A cache
+    ``session`` additionally wraps the shard in a
+    :class:`~repro.cache.funnel.CachedFunnel`, which serves validated
+    artifacts and collects fresh ones into ``cache_entries``.
     """
     resilient = config is not None and config.resilient
+    cached = session is not None
     registry = MetricsRegistry() if observe else None
     collector = TraceCollector() if observe else None
     measurements: List[DomainMeasurement] = []
     stats = StudyStatistics(domain_count=len(shard))
     funnel = study.resilient_funnel(config) if resilient else None
+    if cached:
+        from repro.cache.funnel import CachedFunnel
+
+        funnel = CachedFunnel(
+            study.resolver,
+            study.table_dump,
+            study.payloads,
+            session,
+            inner=funnel,
+        )
     with thread_scope(registry, collector):
         counters = metrics()
         if observe:
-            _register_funnel_counters(counters, resilient=resilient)
+            _register_funnel_counters(
+                counters, resilient=resilient, cached=cached
+            )
         measured = counters.counter(
             "ripki_domains_measured_total",
             _STAT_HELP["ripki_domains_measured_total"],
@@ -156,6 +184,9 @@ def run_shard(
                 measurements.append(measurement)
                 accumulate_measurement(stats, measurement)
                 measured.inc()
+    if cached:
+        stats.cache_hits_by_stage = dict(funnel.hits)
+        stats.cache_misses_by_stage = dict(funnel.misses)
     return ShardOutcome(
         index=shard.index,
         measurements=measurements,
@@ -163,6 +194,7 @@ def run_shard(
         metrics=registry,
         spans=collector.spans() if collector is not None else [],
         dropped_spans=collector.dropped if collector is not None else 0,
+        cache_entries=funnel.fresh if cached else None,
     )
 
 
@@ -176,18 +208,21 @@ def run_shard(
 _WORKER_STUDY: Optional[MeasurementStudy] = None
 _WORKER_OBSERVE: bool = False
 _WORKER_CONFIG: Optional[RunConfig] = None
+_WORKER_SESSION = None
 
 
 def _init_process_worker(
     study: MeasurementStudy,
     observe: bool,
     config: Optional[RunConfig] = None,
+    session=None,
 ) -> None:
-    global _WORKER_STUDY, _WORKER_OBSERVE, _WORKER_CONFIG
+    global _WORKER_STUDY, _WORKER_OBSERVE, _WORKER_CONFIG, _WORKER_SESSION
     sys.setrecursionlimit(max(sys.getrecursionlimit(), _PICKLE_RECURSION_LIMIT))
     _WORKER_STUDY = study
     _WORKER_OBSERVE = observe
     _WORKER_CONFIG = config
+    _WORKER_SESSION = session
 
 
 def _process_shard(shard: Shard):
@@ -200,7 +235,9 @@ def _process_shard(shard: Shard):
     parent-side from the shard plan.
     """
     assert _WORKER_STUDY is not None, "worker initializer did not run"
-    outcome = run_shard(_WORKER_STUDY, shard, _WORKER_OBSERVE, _WORKER_CONFIG)
+    outcome = run_shard(
+        _WORKER_STUDY, shard, _WORKER_OBSERVE, _WORKER_CONFIG, _WORKER_SESSION
+    )
     return (
         outcome.index,
         encode_measurements(outcome.measurements),
@@ -208,6 +245,7 @@ def _process_shard(shard: Shard):
         outcome.metrics,
         outcome.spans,
         outcome.dropped_spans,
+        outcome.cache_entries,
     )
 
 
@@ -245,11 +283,21 @@ def execute_study(
     if resolved == "auto":
         resolved = "process" if workers > 1 else "serial"
 
+    session = None
+    if config.cache is not None:
+        from repro.cache.session import CacheSession
+
+        session = CacheSession.open(config.cache.directory, study, config)
+
     observe = observability_enabled()
     registry = metrics()
     trace = tracer()
     if observe:
-        _register_funnel_counters(registry, resilient=config.resilient)
+        _register_funnel_counters(
+            registry, resilient=config.resilient, cached=session is not None
+        )
+        if session is not None:
+            session.record_invalidation(registry)
 
     reporter = _make_reporter(config.progress, total=len(study.ranking))
     ticker: Callable[[Shard], None] = (
@@ -268,14 +316,16 @@ def execute_study(
             domains = list(study.ranking)
         shards = plan_shards(domains, shard_size=shard_size, workers=workers)
         if resolved == "serial":
-            outcomes = _run_serial(study, shards, observe, ticker, config)
+            outcomes = _run_serial(
+                study, shards, observe, ticker, config, session
+            )
         elif resolved == "thread":
             outcomes = _run_threaded(
-                study, shards, observe, workers, ticker, config
+                study, shards, observe, workers, ticker, config, session
             )
         else:
             outcomes = _run_processes(
-                study, shards, observe, workers, ticker, config
+                study, shards, observe, workers, ticker, config, session
             )
         outcomes.sort(key=lambda outcome: outcome.index)
         measurements = [
@@ -284,6 +334,12 @@ def execute_study(
             for measurement in outcome.measurements
         ]
         stats = merge_statistics(outcome.statistics for outcome in outcomes)
+        if session is not None:
+            stats.cache_invalidated_by_stage = session.invalidated
+            for outcome in outcomes:
+                if outcome.cache_entries is not None:
+                    session.adopt(outcome.cache_entries)
+            session.save()
         if observe:
             parent_id = root.span_id if root is not None else None
             for outcome in outcomes:
@@ -309,23 +365,27 @@ def _make_reporter(
     return ProgressReporter(total=total, callback=progress)
 
 
-def _run_serial(study, shards, observe, ticker, config) -> List[ShardOutcome]:
+def _run_serial(
+    study, shards, observe, ticker, config, session=None
+) -> List[ShardOutcome]:
     outcomes = []
     for shard in shards:
-        outcomes.append(run_shard(study, shard, observe, config))
+        outcomes.append(run_shard(study, shard, observe, config, session))
         ticker(shard)
     return outcomes
 
 
 def _run_threaded(
-    study, shards, observe, workers, ticker, config
+    study, shards, observe, workers, ticker, config, session=None
 ) -> List[ShardOutcome]:
     outcomes: List[ShardOutcome] = []
     with concurrent.futures.ThreadPoolExecutor(
         max_workers=workers, thread_name_prefix="ripki-shard"
     ) as pool:
         futures = {
-            pool.submit(run_shard, study, shard, observe, config): shard
+            pool.submit(
+                run_shard, study, shard, observe, config, session
+            ): shard
             for shard in shards
         }
         for future in concurrent.futures.as_completed(futures):
@@ -335,7 +395,7 @@ def _run_threaded(
 
 
 def _run_processes(
-    study, shards, observe, workers, ticker, config
+    study, shards, observe, workers, ticker, config, session=None
 ) -> List[ShardOutcome]:
     previous_limit = sys.getrecursionlimit()
     sys.setrecursionlimit(max(previous_limit, _PICKLE_RECURSION_LIMIT))
@@ -345,14 +405,22 @@ def _run_processes(
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_process_worker,
-            initargs=(study, observe, shipped),
+            initargs=(study, observe, shipped, session),
         ) as pool:
             futures = {
                 pool.submit(_process_shard, shard): shard for shard in shards
             }
             for future in concurrent.futures.as_completed(futures):
                 shard = futures[future]
-                index, encoded, stats, registry, spans, dropped = future.result()
+                (
+                    index,
+                    encoded,
+                    stats,
+                    registry,
+                    spans,
+                    dropped,
+                    cache_entries,
+                ) = future.result()
                 outcomes.append(
                     ShardOutcome(
                         index=index,
@@ -361,6 +429,7 @@ def _run_processes(
                         metrics=registry,
                         spans=spans,
                         dropped_spans=dropped,
+                        cache_entries=cache_entries,
                     )
                 )
                 ticker(shard)

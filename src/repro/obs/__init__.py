@@ -27,6 +27,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
     merge_registries,
+    registry_from_wire,
+    registry_to_wire,
 )
 from repro.obs.progress import (
     CaptureProgress,
@@ -35,6 +37,7 @@ from repro.obs.progress import (
     stderr_renderer,
 )
 from repro.obs.report import (
+    cache_report,
     degradation_report,
     stage_timing_report,
     timing_summary,
@@ -75,6 +78,7 @@ __all__ = [
     "Span",
     "SpanStats",
     "TraceCollector",
+    "cache_report",
     "degradation_report",
     "disable",
     "enable",
@@ -83,6 +87,8 @@ __all__ = [
     "merge_registries",
     "metrics",
     "observability_enabled",
+    "registry_from_wire",
+    "registry_to_wire",
     "reset_logging",
     "scope",
     "stage_timing_report",

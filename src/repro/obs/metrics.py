@@ -433,6 +433,66 @@ NULL_REGISTRY = NullRegistry()
 AnyRegistry = Union[MetricsRegistry, NullRegistry]
 
 
+def registry_to_wire(registry: AnyRegistry) -> List[list]:
+    """Flatten a registry to JSON-able primitives, exactly.
+
+    The snapshot cache stores the metric *delta* a pipeline stage
+    produced alongside the stage's artifact, so a cache hit can replay
+    the exact counter ticks the recomputation would have made.  Unlike
+    :meth:`MetricsRegistry.snapshot` this form keeps label names and
+    histogram internals (raw per-bucket counts, not cumulative ones),
+    so ``registry_from_wire`` rebuilds a registry that merges and
+    renders identically — including labelled metrics with zero
+    children, which the snapshot form would lose.
+    """
+    out: List[list] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        buckets = list(metric.buckets) if isinstance(metric, Histogram) else None
+        series: List[list] = []
+        for key, child in metric.series():
+            if isinstance(child, Histogram):
+                payload = [list(child._counts), child._sum, child._count]
+            else:
+                payload = child._value
+            series.append([list(key), payload])
+        out.append(
+            [name, metric.kind, metric.help, list(metric.labelnames),
+             buckets, series]
+        )
+    return out
+
+
+def registry_from_wire(wire: Iterable[list]) -> MetricsRegistry:
+    """Rebuild a registry from :func:`registry_to_wire` output."""
+    registry = MetricsRegistry()
+    for name, kind, help, labelnames, buckets, series in wire:
+        if kind == "histogram":
+            metric = registry.histogram(
+                name, help, labelnames, buckets=buckets
+            )
+        elif kind == "counter":
+            metric = registry.counter(name, help, labelnames)
+        elif kind == "gauge":
+            metric = registry.gauge(name, help, labelnames)
+        else:
+            raise MetricError(f"unknown wire metric kind {kind!r}")
+        for key, payload in series:
+            child = (
+                metric.labels(**dict(zip(labelnames, key)))
+                if labelnames
+                else metric
+            )
+            if kind == "histogram":
+                counts, total, count = payload
+                child._counts = list(counts)
+                child._sum = total
+                child._count = count
+            else:
+                child._value = payload
+    return registry
+
+
 def merge_registries(
     registries: Iterable[MetricsRegistry],
     into: Optional[MetricsRegistry] = None,

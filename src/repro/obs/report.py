@@ -74,6 +74,40 @@ def degradation_report(
     return "\n".join(lines)
 
 
+def cache_report(
+    hits: Mapping[str, int],
+    misses: Mapping[str, int],
+    invalidated: Mapping[str, int],
+) -> str:
+    """Render the snapshot-cache outcome of a cache-backed run.
+
+    Takes the three by-stage mappings as plain values (same rationale
+    as :func:`degradation_report`).  Hit/miss rows use the funnel's
+    stage keys; invalidation rows use the store's stage names, so the
+    union of all three key sets is shown.
+    """
+    table = TextTable(["stage", "hits", "misses", "invalidated"])
+    stages = sorted(set(hits) | set(misses) | set(invalidated))
+    for stage in stages:
+        table.add_row(
+            stage,
+            hits.get(stage, 0),
+            misses.get(stage, 0),
+            invalidated.get(stage, 0),
+        )
+    table.add_row(
+        "total",
+        sum(hits.values()),
+        sum(misses.values()),
+        sum(invalidated.values()),
+    )
+    served = sum(hits.values())
+    worked = sum(misses.values())
+    total = served + worked
+    rate = f"{served / total:.1%}" if total else "n/a"
+    return "\n".join([table.render(), f"hit rate: {rate}"])
+
+
 def timing_summary(stats: Mapping[str, SpanStats]) -> Dict[str, object]:
     """JSON-ready aggregate (the BENCH_obs.json payload)."""
     return {

@@ -2,8 +2,14 @@
 
 import pytest
 
-from repro.core import MeasurementStudy
-from repro.core.continuous import ContinuousStudy, compare_results
+from repro import obs
+from repro.core import CacheConfig, MeasurementStudy, RunConfig
+from repro.core.continuous import (
+    REFRESH_CARRYOVER_METRIC,
+    REFRESH_QUERIES_METRIC,
+    ContinuousStudy,
+    compare_results,
+)
 from repro.web import EcosystemConfig, WebEcosystem
 
 
@@ -119,3 +125,52 @@ class TestContinuousStudy:
         result, _stats = continuous.refresh()
         assert result.statistics.domain_count == baseline.statistics.domain_count
         assert result.statistics.plain_addresses > 0
+
+
+class TestRefreshMetrics:
+    def test_refresh_ticks_work_counters(self, world):
+        study = MeasurementStudy.from_ecosystem(world)
+        continuous = ContinuousStudy(study)
+        continuous.baseline()
+        with obs.scope() as (registry, _collector):
+            _result, stats = continuous.refresh()
+        queries = registry.get(REFRESH_QUERIES_METRIC)
+        carried = registry.get(REFRESH_CARRYOVER_METRIC)
+        assert queries is not None and carried is not None
+        assert queries.value == stats.total_queries
+        assert carried.value == stats.total_carried
+        assert stats.total_queries == stats.apex_measured + stats.www_measured
+        # Heuristic refreshes re-measure every apex, so only www forms
+        # can be carried over.
+        assert stats.apex_carried_over == 0
+        assert stats.apex_measured == len(world.ranking)
+
+    def test_counters_accumulate_across_campaigns(self, world):
+        study = MeasurementStudy.from_ecosystem(world)
+        continuous = ContinuousStudy(study)
+        continuous.baseline()
+        with obs.scope() as (registry, _collector):
+            _result, first = continuous.refresh()
+            world.rehost(0.1, generation=1)
+            _result, second = continuous.refresh()
+        queries = registry.get(REFRESH_QUERIES_METRIC)
+        assert queries.value == first.total_queries + second.total_queries
+
+    def test_cached_refresh_exact_with_cache_accounting(self, world, tmp_path):
+        study = MeasurementStudy.from_ecosystem(world)
+        config = RunConfig(cache=CacheConfig(str(tmp_path)))
+        continuous = ContinuousStudy(study, config)
+        continuous.baseline()
+        world.rehost(0.1, generation=1)
+        result, stats = continuous.refresh()
+        # Cache-backed refreshes carry forms over exactly — zero
+        # staleness against a full re-run, unlike the heuristic.
+        full = study.run()
+        assert compare_results(result, full).stale_fraction == 0.0
+        assert stats.apex_carried_over > 0
+        assert stats.www_carried_over > 0
+        assert stats.total_queries > 0
+        # Every name form is either re-measured or carried over.
+        forms = stats.total_queries + stats.total_carried
+        assert forms == 2 * len(world.ranking)
+        assert 0.0 < stats.saving_fraction < 1.0

@@ -5,11 +5,15 @@ bit-identical to the serial run — same measurement order, same
 statistics, same funnel counters in the merged registry.
 """
 
+import dataclasses
+
 import pytest
 
 from repro import obs
-from repro.core import MeasurementStudy, pipeline_statistics
+from repro.core import CacheConfig, MeasurementStudy, RunConfig, pipeline_statistics
 from repro.core.pipeline import StudyStatistics
+from repro.faults import FaultPlan
+from repro.web import EcosystemConfig, WebEcosystem
 from repro.exec import (
     MODES,
     Shard,
@@ -230,3 +234,103 @@ class TestExecutorPlumbing:
         assert {s.parent_id for s in shard_spans} == {roots[0].span_id}
         ids = [s.span_id for s in collector.spans()]
         assert len(ids) == len(set(ids))
+
+
+# -- cache x backend equivalence matrix ---------------------------------------
+
+
+@pytest.fixture(scope="module")
+def matrix_study():
+    """A private world so cached runs never touch the shared fixture."""
+    world = WebEcosystem.build(
+        EcosystemConfig(domain_count=300, seed=11, hoster_count=50, eyeball_count=25)
+    )
+    return MeasurementStudy.from_ecosystem(world)
+
+
+def _matrix_faults():
+    return FaultPlan.from_profile("flaky", seed=7)
+
+
+@pytest.fixture(scope="module")
+def matrix_references(matrix_study):
+    """The uncached serial runs every matrix cell must reproduce."""
+    return {
+        False: matrix_study.run(),
+        True: matrix_study.run(config=RunConfig(faults=_matrix_faults())),
+    }
+
+
+def _no_cache_stats(stats):
+    clone = dataclasses.replace(stats)
+    clone.cache_hits_by_stage = {}
+    clone.cache_misses_by_stage = {}
+    clone.cache_invalidated_by_stage = {}
+    return clone
+
+
+class TestEquivalenceMatrix:
+    """{serial, thread, process} x {cold, warm} x {faults on, off}.
+
+    Every cell must reproduce the uncached serial reference exactly;
+    the warm cell must additionally re-measure nothing (plain runs) or
+    only the degraded forms (fault runs never cache degraded
+    artifacts).
+    """
+
+    @pytest.mark.parametrize("faulted", [False, True], ids=["plain", "faults"])
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_cell_matches_uncached_serial_reference(
+        self, matrix_study, matrix_references, tmp_path, mode, faulted
+    ):
+        reference = matrix_references[faulted]
+        config = RunConfig(
+            workers=1 if mode == "serial" else 2,
+            mode=mode,
+            faults=_matrix_faults() if faulted else None,
+            cache=CacheConfig(str(tmp_path)),
+        )
+        cold = matrix_study.run(config=config)
+        warm = matrix_study.run(config=config)
+        for cached_run in (cold, warm):
+            assert list(cached_run) == list(reference)
+            assert _no_cache_stats(cached_run.statistics) == reference.statistics
+        assert cold.statistics.cache_misses_total > 0
+        assert warm.statistics.cache_hits_total > 0
+        warm_misses = warm.statistics.cache_misses_by_stage
+        if not faulted:
+            assert warm_misses == {}
+        else:
+            degraded_forms = sum(
+                1
+                for measurement in reference
+                for form in (measurement.www, measurement.plain)
+                if form.degraded_stage
+            )
+            assert set(warm_misses) <= {"form.www", "form.plain"}
+            assert sum(warm_misses.values()) == degraded_forms
+
+    def test_warm_metric_exposition_matches_uncached(
+        self, matrix_study, tmp_path
+    ):
+        with obs.scope() as (reference_registry, _collector):
+            reference = matrix_study.run()
+            pipeline_statistics(reference, registry=reference_registry)
+        config = RunConfig(
+            workers=2, mode="thread", cache=CacheConfig(str(tmp_path))
+        )
+        matrix_study.run(config=config)  # cold fill, unobserved
+        with obs.scope() as (warm_registry, _collector):
+            warm = matrix_study.run(config=config)
+            pipeline_statistics(warm, registry=warm_registry)
+
+        def strip(text):
+            return "\n".join(
+                line
+                for line in text.splitlines()
+                if "ripki_cache_" not in line
+            )
+
+        assert strip(warm_registry.render_prometheus()) == strip(
+            reference_registry.render_prometheus()
+        )

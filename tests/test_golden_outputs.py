@@ -1,0 +1,152 @@
+"""Golden-file tests pinning the user-facing output of a fixed run.
+
+Three artifacts of a ``--domains 400 --seed 2015`` study are pinned
+byte-for-byte under ``tests/goldens/``:
+
+* ``run_stdout.txt`` — the CLI's complete stdout (wall-clock figures
+  masked as ``<T>s``),
+* ``metrics.prom`` — the exact Prometheus exposition of an observed
+  run (every histogram in the pipeline observes counts, not
+  durations, so the text is deterministic),
+* ``stage_timings.txt`` — the stage-timing table reduced to its
+  deterministic cells (span names, counts, error counts; the time
+  columns vary by machine).
+
+Regenerate after an intentional output change with::
+
+    PYTHONPATH=src python tests/test_golden_outputs.py --regen
+"""
+
+import contextlib
+import io
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core import MeasurementStudy
+from repro.obs import MetricsRegistry, TraceCollector, scope, timing_table
+from repro.web import EcosystemConfig, WebEcosystem
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+DOMAINS = 400
+SEED = 2015
+
+CLI_ARGV = [
+    "run",
+    "--domains", str(DOMAINS),
+    "--seed", str(SEED),
+    "--figure", "table1",
+    "--figure", "cdn-as",
+]
+
+_REGEN_HINT = (
+    "golden mismatch for {name}; if the change is intentional, run\n"
+    "  PYTHONPATH=src python tests/test_golden_outputs.py --regen"
+)
+
+
+def _mask_times(text: str) -> str:
+    return re.sub(r"\d+\.\d+s", "<T>s", text)
+
+
+def _normalize_timings(table: str) -> str:
+    """Keep the deterministic columns of a timing table.
+
+    Rows render as ``span count total-s mean-ms min-ms max-ms errors``;
+    only the span name, the count and the error count are stable
+    across machines.
+    """
+    lines = []
+    for line in table.splitlines()[2:]:  # skip header + rule
+        fields = line.split()
+        if len(fields) != 7:
+            continue
+        lines.append(f"{fields[0]} count={fields[1]} errors={fields[6]}")
+    return "\n".join(lines) + "\n"
+
+
+def _cli_stdout() -> str:
+    from repro.cli import main
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(CLI_ARGV)
+    assert code == 0
+    return _mask_times(buffer.getvalue())
+
+
+def _observed_artifacts():
+    world = WebEcosystem.build(
+        EcosystemConfig(domain_count=DOMAINS, seed=SEED)
+    )
+    study = MeasurementStudy.from_ecosystem(world)
+    registry = MetricsRegistry()
+    collector = TraceCollector()
+    with scope(registry, collector):
+        study.run()
+    metrics_text = registry.render_prometheus()
+    timings_text = _normalize_timings(timing_table(collector.aggregate()))
+    return metrics_text, timings_text
+
+
+def _generate_all():
+    metrics_text, timings_text = _observed_artifacts()
+    return {
+        "run_stdout.txt": _cli_stdout(),
+        "metrics.prom": metrics_text,
+        "stage_timings.txt": timings_text,
+    }
+
+
+@pytest.fixture(scope="module")
+def generated():
+    return _generate_all()
+
+
+class TestGoldenOutputs:
+    @pytest.mark.parametrize(
+        "name", ["run_stdout.txt", "metrics.prom", "stage_timings.txt"]
+    )
+    def test_matches_golden(self, generated, name):
+        path = GOLDEN_DIR / name
+        assert path.exists(), f"missing golden {path}; regenerate first"
+        assert generated[name] == path.read_text(), _REGEN_HINT.format(
+            name=name
+        )
+
+    def test_stdout_masks_wallclock_only(self, generated):
+        text = generated["run_stdout.txt"]
+        assert "<T>s" in text
+        assert not re.search(r"\d+\.\d+s", text)
+        # The funnel summary survives masking.
+        assert "== Section 4 statistics ==" in text
+        assert "== Table 1: top domains with RPKI coverage ==" in text
+
+    def test_metrics_exposition_is_self_describing(self, generated):
+        text = generated["metrics.prom"]
+        for metric in (
+            "ripki_domains_measured_total",
+            "ripki_dns_resolutions_total",
+            "ripki_prefix_lookups_total",
+            "ripki_rpki_validations_total",
+        ):
+            assert f"# HELP {metric}" in text
+            assert f"# TYPE {metric}" in text
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, content in _generate_all().items():
+        (GOLDEN_DIR / name).write_text(content)
+        print(f"wrote {GOLDEN_DIR / name} ({len(content)} bytes)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)
+        sys.exit(2)

@@ -1,13 +1,18 @@
 """Property-based tests (hypothesis) on core data structures."""
 
+import json
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import bin_means
 from repro.bgp import ASPath
+from repro.core import NameMeasurement, PrefixOriginPair, StudyStatistics
 from repro.crypto import DeterministicRNG
+from repro.exec import decode_name, decode_statistics, encode_name, encode_statistics
 from repro.net import ASN, Address, Prefix, PrefixTrie
 from repro.net.addr import IPV4, IPV6
+from repro.obs import MetricsRegistry
 from repro.rpki import VRP, OriginValidation, ResourceSet, ValidatedPayloads
 from repro.rpki.resources import ASNRange
 
@@ -40,6 +45,73 @@ def vrps(draw):
     prefix = draw(ipv4_prefixes())
     max_length = draw(st.integers(min_value=prefix.length, max_value=32))
     return VRP(prefix, max_length, ASN(draw(asns)))
+
+
+addresses = st.one_of(
+    ipv4_values.map(lambda v: Address(IPV4, v)),
+    ipv6_values.map(lambda v: Address(IPV6, v)),
+)
+
+small_counts = st.integers(min_value=0, max_value=1 << 20)
+
+# Label maps must hold only nonzero counts: ``StudyStatistics`` keeps
+# sparse dicts, and ``from_metrics`` skips zero-valued series.
+label_counts = st.dictionaries(
+    st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+        min_size=1,
+        max_size=12,
+    ),
+    st.integers(min_value=1, max_value=1 << 20),
+    max_size=5,
+)
+
+
+@st.composite
+def prefix_origin_pairs(draw):
+    return PrefixOriginPair(
+        draw(prefixes),
+        ASN(draw(asns)),
+        draw(st.sampled_from(list(OriginValidation))),
+    )
+
+
+@st.composite
+def name_measurements(draw):
+    faults = draw(label_counts)
+    return NameMeasurement(
+        name=f"d{draw(st.integers(min_value=0, max_value=9999))}.example",
+        resolved=draw(st.booleans()),
+        addresses=draw(st.lists(addresses, max_size=4)),
+        excluded_special=draw(small_counts),
+        unreachable_addresses=draw(small_counts),
+        as_set_excluded=draw(small_counts),
+        cname_count=draw(small_counts),
+        pairs=draw(st.lists(prefix_origin_pairs(), max_size=4)),
+        degraded_stage=draw(st.sampled_from(("", "dns", "prefix", "rpki"))),
+        retries=draw(small_counts),
+        faults=tuple(sorted(faults.items())),
+    )
+
+
+@st.composite
+def study_statistics(draw):
+    return StudyStatistics(
+        domain_count=draw(small_counts),
+        invalid_dns_domains=draw(small_counts),
+        www_addresses=draw(small_counts),
+        plain_addresses=draw(small_counts),
+        www_pairs=draw(small_counts),
+        plain_pairs=draw(small_counts),
+        unreachable_addresses=draw(small_counts),
+        as_set_exclusions=draw(small_counts),
+        degraded_domains=draw(small_counts),
+        retries_total=draw(small_counts),
+        faults_by_kind=draw(label_counts),
+        cache_hits_by_stage=draw(label_counts),
+        cache_misses_by_stage=draw(label_counts),
+        cache_invalidated_by_stage=draw(label_counts),
+    )
 
 
 # -- addresses and prefixes ----------------------------------------------------
@@ -184,6 +256,83 @@ def test_resource_set_covers_itself_and_subsets(prefix_list, asn_list):
 def test_resource_set_dict_roundtrip(prefix_list):
     rs = ResourceSet(prefix_list)
     assert ResourceSet.from_dict(rs.to_dict()) == rs
+
+
+# -- exec wire codec ----------------------------------------------------------------
+
+
+@given(name_measurements())
+def test_name_measurement_wire_roundtrip(measurement):
+    assert decode_name(encode_name(measurement)) == measurement
+
+
+@given(name_measurements())
+def test_name_measurement_survives_json(measurement):
+    # The snapshot cache persists form-level artifacts as JSON, which
+    # turns every tuple into a list; decode must not care.
+    wire = json.loads(json.dumps(encode_name(measurement)))
+    assert decode_name(wire) == measurement
+
+
+@given(study_statistics())
+def test_statistics_wire_roundtrip(stats):
+    assert decode_statistics(encode_statistics(stats)) == stats
+
+
+@given(study_statistics())
+def test_statistics_wire_roundtrip_through_json(stats):
+    wire = json.loads(json.dumps(encode_statistics(stats)))
+    assert decode_statistics(wire) == stats
+
+
+@given(study_statistics())
+@settings(max_examples=25)
+def test_statistics_metrics_roundtrip(stats):
+    registry = MetricsRegistry()
+    stats.to_metrics(registry)
+    assert StudyStatistics.from_metrics(registry) == stats
+    assert stats.consistent_with(registry)
+
+
+@given(st.integers())
+def test_statistics_from_seeded_rng_roundtrip(seed):
+    # Same invariants, driven by the repo's own deterministic RNG
+    # (the generator every synthetic-world component uses).
+    rng = DeterministicRNG(seed).fork("codec-roundtrip")
+    kinds = ("dns_timeout", "dns_servfail", "bgp_gap", "rpki_stale")
+    stages = ("dns.www", "dns.plain", "prefix", "rpki", "form.www")
+    stats = StudyStatistics(
+        domain_count=rng.randint(0, 1 << 20),
+        invalid_dns_domains=rng.randint(0, 1 << 20),
+        www_addresses=rng.randint(0, 1 << 20),
+        plain_addresses=rng.randint(0, 1 << 20),
+        www_pairs=rng.randint(0, 1 << 20),
+        plain_pairs=rng.randint(0, 1 << 20),
+        unreachable_addresses=rng.randint(0, 1 << 20),
+        as_set_exclusions=rng.randint(0, 1 << 20),
+        degraded_domains=rng.randint(0, 1 << 20),
+        retries_total=rng.randint(0, 1 << 20),
+        faults_by_kind={
+            kind: rng.randint(1, 1 << 20)
+            for kind in rng.sample(kinds, rng.randint(0, len(kinds)))
+        },
+        cache_hits_by_stage={
+            stage: rng.randint(1, 1 << 20)
+            for stage in rng.sample(stages, rng.randint(0, len(stages)))
+        },
+        cache_misses_by_stage={
+            stage: rng.randint(1, 1 << 20)
+            for stage in rng.sample(stages, rng.randint(0, 2))
+        },
+        cache_invalidated_by_stage={
+            stage: rng.randint(1, 1 << 20)
+            for stage in rng.sample(stages, rng.randint(0, 2))
+        },
+    )
+    assert decode_statistics(encode_statistics(stats)) == stats
+    registry = MetricsRegistry()
+    stats.to_metrics(registry)
+    assert StudyStatistics.from_metrics(registry) == stats
 
 
 # -- deterministic RNG -------------------------------------------------------------
