@@ -1,0 +1,130 @@
+"""Serial-vs-threaded throughput benchmark for the query service.
+
+Builds one world, runs the study once, freezes it into a
+:class:`~repro.serve.index.ServingIndex`, generates one Zipf-skewed
+query load, and dispatches it twice — serially and on a thread pool —
+recording throughput and p50/p99 latency per backend in
+``BENCH_serve.json``::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --domains 5000 --workers 4
+
+Each query pays a simulated IO wait (``--io-wait``, default 0.2 ms)
+modelling the network hop of a live deployment; the sleep releases
+the GIL, so the thread pool overlaps waits the way it would overlap
+real socket reads.  With ``--io-wait 0`` the workload is pure
+GIL-bound evaluation and the threaded backend has nothing to overlap
+(same caveat the study executor documents for its thread backend).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core import MeasurementStudy
+from repro.serve import (
+    LoadProfile,
+    QueryService,
+    ServeConfig,
+    ServingIndex,
+    generate_load,
+    summarize_responses,
+)
+from repro.web import EcosystemConfig, WebEcosystem
+
+DEFAULT_OUT = Path(__file__).parent / "BENCH_serve.json"
+
+
+def dispatch(index: ServingIndex, queries, config: ServeConfig):
+    service = QueryService(index, config)
+    started = time.perf_counter()
+    responses = service.run(queries)
+    elapsed = time.perf_counter() - started
+    return responses, summarize_responses(responses, elapsed)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--domains", type=int, default=5_000)
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--queries", type=int, default=10_000)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--io-wait", type=float, default=0.0002,
+                        help="simulated per-query IO wait in seconds")
+    parser.add_argument("--zipf", type=float, default=1.1)
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args()
+
+    print(f"building world: {args.domains} domains, seed {args.seed} ...")
+    build_started = time.perf_counter()
+    world = WebEcosystem.build(
+        EcosystemConfig(domain_count=args.domains, seed=args.seed)
+    )
+    study = MeasurementStudy.from_ecosystem(world)
+    result = study.run()
+    index = ServingIndex.build(study, result)
+    build_seconds = time.perf_counter() - build_started
+    print(f"  {build_seconds:.2f}s: {index!r}")
+
+    queries = generate_load(
+        index,
+        LoadProfile(
+            queries=args.queries, seed=args.seed, zipf_exponent=args.zipf
+        ),
+    )
+    print(f"load: {len(queries)} queries (zipf {args.zipf})")
+
+    print("serial dispatch ...")
+    serial_responses, serial = dispatch(
+        index,
+        queries,
+        ServeConfig(mode="serial", simulated_io_s=args.io_wait),
+    )
+    print(f"  {serial['elapsed_s']}s, {serial['qps']} qps")
+
+    print(f"threaded dispatch: {args.workers} workers ...")
+    threaded_responses, threaded = dispatch(
+        index,
+        queries,
+        ServeConfig(
+            workers=args.workers,
+            mode="thread",
+            simulated_io_s=args.io_wait,
+        ),
+    )
+    print(f"  {threaded['elapsed_s']}s, {threaded['qps']} qps")
+
+    identical = threaded_responses == serial_responses
+    speedup = (
+        serial["elapsed_s"] / threaded["elapsed_s"]
+        if threaded["elapsed_s"]
+        else 0.0
+    )
+    record = {
+        "domains": args.domains,
+        "seed": args.seed,
+        "queries": len(queries),
+        "workers": args.workers,
+        "io_wait_s": args.io_wait,
+        "cpu_count": os.cpu_count(),
+        "build_seconds": round(build_seconds, 3),
+        "serial": serial,
+        "threaded": threaded,
+        "speedup": round(speedup, 3),
+        "threaded_exceeds_serial": threaded["qps"] > serial["qps"],
+        "responses_identical": identical,
+    }
+    Path(args.out).write_text(json.dumps(record, indent=1) + "\n")
+    print(
+        f"wrote {args.out}: {serial['qps']} -> {threaded['qps']} qps "
+        f"({speedup:.2f}x, {'identical' if identical else 'MISMATCH'} "
+        f"responses, {os.cpu_count()} cores)"
+    )
+    return 0 if identical and record["threaded_exceeds_serial"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,7 +29,14 @@ from repro.cache.fingerprint import (
 )
 from repro.cache.funnel import CachedFunnel
 from repro.cache.session import CacheSession
-from repro.cache.store import STAGES, STORE_VERSION, load_store, save_store, store_path
+from repro.cache.store import (
+    STAGES,
+    STORE_VERSION,
+    load_digests,
+    load_store,
+    save_store,
+    store_path,
+)
 
 __all__ = [
     "STAGES",
@@ -38,6 +45,7 @@ __all__ = [
     "CachedFunnel",
     "config_fingerprint",
     "dump_digest",
+    "load_digests",
     "load_store",
     "name_fingerprint",
     "save_store",

@@ -120,6 +120,30 @@ def save_store(
     return path
 
 
+def load_digests(directory: str) -> Optional[Dict[str, str]]:
+    """The input digests a store was computed under, or ``None``.
+
+    A cheap probe that skips the artifact maps entirely — the serving
+    layer uses it to decide whether an index built from this cache
+    directory would be *stale* against a study's current inputs,
+    without paying for a full load.
+    """
+    try:
+        with open(store_path(directory)) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or payload.get("version") != STORE_VERSION:
+        return None
+    digests = payload.get("digests")
+    if not isinstance(digests, dict):
+        return None
+    for key in ("zone", "dump", "vrps", "config"):
+        if key not in digests:
+            return None
+    return {key: str(value) for key, value in digests.items()}
+
+
 def load_store(directory: str) -> Optional[dict]:
     """Read the store back, or ``None`` for anything unusable."""
     try:

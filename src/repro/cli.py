@@ -116,6 +116,51 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--seed", type=int, default=2015)
     audit.add_argument("--rank", type=int, action="append", default=None,
                        help="rank(s) to audit (repeatable; default: 1-5)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a completed study as a query service: build (or load "
+             "from a snapshot cache) an immutable serving index, answer "
+             "a query script or a generated load, print a "
+             "latency/verdict table",
+    )
+    serve.add_argument("--domains", type=int, default=2_000)
+    serve.add_argument("--seed", type=int, default=2015)
+    serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="build the index through the snapshot cache "
+                            "under DIR (warm when digests match)")
+    serve.add_argument("--script", metavar="FILE", default=None,
+                       help="query script (one query per line: "
+                            "'validate P ASN' | 'lookup IP' | "
+                            "'domain NAME' | 'rank_slice A B'); "
+                            "default: generated load")
+    serve.add_argument("--queries", type=int, default=2_000,
+                       help="generated load size (ignored with --script)")
+    serve.add_argument("--load-seed", type=int, default=None,
+                       help="load-generator seed (default: --seed)")
+    serve.add_argument("--zipf", type=float, default=1.1,
+                       help="Zipf popularity exponent of the generated load")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="dispatch thread count (1 = serial)")
+    serve.add_argument("--serve-mode", choices=["auto", "serial", "thread"],
+                       default="auto",
+                       help="dispatch backend (auto: thread pool when "
+                            "--workers > 1)")
+    serve.add_argument("--batch-size", type=int, default=None,
+                       help="queries per dispatch batch "
+                            "(default: scaled to workers)")
+    serve.add_argument("--io-wait", type=float, default=0.0, metavar="SEC",
+                       help="simulated per-query IO wait (models a live "
+                            "deployment's network hop; lets threads "
+                            "overlap)")
+    serve.add_argument("--fault-profile", choices=sorted(PROFILES),
+                       default=None,
+                       help="inject serve-path faults (answers degrade "
+                            "with stale/degraded markers, never error)")
+    serve.add_argument("--json", metavar="FILE", default=None,
+                       help="write the run summary as JSON to FILE")
+    serve.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write Prometheus text metrics to FILE")
     return parser
 
 
@@ -357,6 +402,93 @@ def run_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.serve import (
+        LoadProfile,
+        QueryService,
+        ServeConfig,
+        ServingIndex,
+        generate_load,
+        parse_script,
+        summarize_responses,
+    )
+
+    observe = bool(args.metrics_out)
+    registry = None
+    if observe:
+        registry, _collector = obs.enable()
+    try:
+        print(f"building world: {args.domains} domains, seed {args.seed} ...")
+        world = WebEcosystem.build(
+            EcosystemConfig(domain_count=args.domains, seed=args.seed)
+        )
+        study = MeasurementStudy.from_ecosystem(world)
+        started = time.time()
+        if args.cache_dir:
+            index = ServingIndex.from_cache(args.cache_dir, study)
+            state = "warm" if index.warm else "cold"
+            print(
+                f"  index from cache ({args.cache_dir}, {state}) "
+                f"in {time.time() - started:.1f}s: {index!r}"
+            )
+        else:
+            result = study.run()
+            index = ServingIndex.build(study, result)
+            print(f"  index built in {time.time() - started:.1f}s: {index!r}")
+
+        if args.script:
+            with open(args.script) as handle:
+                queries = parse_script(handle.read())
+            print(f"  script: {args.script} ({len(queries)} queries)")
+        else:
+            profile = LoadProfile(
+                queries=args.queries,
+                seed=args.load_seed if args.load_seed is not None
+                else args.seed,
+                zipf_exponent=args.zipf,
+            )
+            queries = generate_load(index, profile)
+            print(
+                f"  load: {len(queries)} queries "
+                f"(zipf {args.zipf}, seed {profile.seed})"
+            )
+
+        faults = None
+        if args.fault_profile:
+            faults = FaultPlan.from_profile(args.fault_profile, seed=args.seed)
+        service = QueryService(index, ServeConfig(
+            workers=args.workers,
+            mode=args.serve_mode,
+            batch_size=args.batch_size,
+            faults=faults,
+            simulated_io_s=args.io_wait,
+        ))
+        started = time.time()
+        responses = service.run(queries)
+        elapsed = time.time() - started
+        summary = summarize_responses(responses, elapsed)
+        mode = service.config.resolved_mode
+        label = f" ({args.workers} workers)" if mode == "thread" else ""
+        print(f"  served in {elapsed:.2f}s, {mode} dispatch{label}")
+        print(f"\n== Query service ({len(queries)} queries) ==")
+        print(obs.serve_report(summary))
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(summary, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            print(f"  summary: {args.json}")
+        if observe and args.metrics_out:
+            size = registry.write_prometheus(args.metrics_out)
+            print(f"  metrics: {args.metrics_out} ({size} bytes)")
+    finally:
+        if observe:
+            obs.disable()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -367,6 +499,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_export(args)
     if args.command == "audit":
         return run_audit(args)
+    if args.command == "serve":
+        return run_serve(args)
     return 1
 
 

@@ -28,12 +28,15 @@ from repro.exec.executor import (
 )
 from repro.exec.sharding import (
     MAX_SHARD_SIZE,
+    Batch,
     Shard,
     default_shard_size,
+    plan_batches,
     plan_shards,
 )
 
 __all__ = [
+    "Batch",
     "MAX_SHARD_SIZE",
     "MODES",
     "Shard",
@@ -47,6 +50,7 @@ __all__ = [
     "encode_statistics",
     "execute_study",
     "merge_statistics",
+    "plan_batches",
     "plan_shards",
     "run_shard",
 ]

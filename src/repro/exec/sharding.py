@@ -1,19 +1,23 @@
-"""Sharding an Alexa-style ranking into contiguous rank chunks.
+"""Batching ordered work lists into contiguous chunks.
 
-A *shard* is one contiguous slice of the ranked domain list.  Shards
-are the unit of work the parallel executor hands to workers, and
-contiguity is what makes the merge trivially order-preserving:
-concatenating per-shard measurement lists in shard order reproduces
-the serial walk exactly.
+A *batch* is one contiguous slice of any ordered work list; a *shard*
+is the domain-specific batch the study executor hands to workers (a
+slice of the ranked domain list).  Batches are the unit of parallel
+dispatch everywhere — the study executor and the serving layer's
+query dispatcher plan with the same function — and contiguity is what
+makes every merge trivially order-preserving: concatenating per-batch
+outputs in batch order reproduces the serial walk exactly.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.web.alexa import Domain
+
+T = TypeVar("T")
 
 # Above this many domains per shard a straggler shard dominates the
 # wall clock; below a few hundred the per-shard overhead (pickling,
@@ -21,6 +25,24 @@ from repro.web.alexa import Domain
 # shards per worker inside these bounds.
 MAX_SHARD_SIZE = 5_000
 SHARDS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class Batch(Generic[T]):
+    """One contiguous chunk of an ordered work list."""
+
+    index: int            # 0-based batch position
+    items: Tuple[T, ...]  # order-preserving slice
+    offset: int = 0       # index of items[0] in the original list
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Batch {self.index}: items "
+            f"{self.offset}-{self.offset + len(self) - 1} ({len(self)})>"
+        )
 
 
 @dataclass(frozen=True)
@@ -56,6 +78,33 @@ def default_shard_size(domain_count: int, workers: int) -> int:
     return max(1, min(MAX_SHARD_SIZE, target))
 
 
+def plan_batches(
+    items: Sequence[T],
+    batch_size: Optional[int] = None,
+    workers: int = 1,
+) -> List[Batch[T]]:
+    """Split ``items`` into contiguous batches of ``batch_size``.
+
+    ``items`` must already be in the order the caller walks them; the
+    plan never reorders.  When ``batch_size`` is omitted it is
+    derived from ``workers`` via :func:`default_shard_size`, so query
+    dispatch and study sharding balance load the same way.
+    """
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    size = batch_size or default_shard_size(len(items), workers)
+    batches: List[Batch[T]] = []
+    for index, start in enumerate(range(0, len(items), size)):
+        batches.append(
+            Batch(
+                index=index,
+                items=tuple(items[start:start + size]),
+                offset=start,
+            )
+        )
+    return batches
+
+
 def plan_shards(
     domains: Sequence[Domain],
     shard_size: Optional[int] = None,
@@ -68,12 +117,7 @@ def plan_shards(
     omitted it is derived from ``workers`` via
     :func:`default_shard_size`.
     """
-    if shard_size is not None and shard_size < 1:
-        raise ValueError("shard_size must be >= 1")
-    size = shard_size or default_shard_size(len(domains), workers)
-    shards: List[Shard] = []
-    for index, start in enumerate(range(0, len(domains), size)):
-        shards.append(
-            Shard(index=index, domains=tuple(domains[start:start + size]))
-        )
-    return shards
+    return [
+        Shard(index=batch.index, domains=batch.items)
+        for batch in plan_batches(domains, shard_size, workers)
+    ]

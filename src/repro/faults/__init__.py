@@ -30,6 +30,7 @@ from repro.faults.injectors import (
     InjectedDumpFault,
     InjectedFault,
     InjectedRTRFault,
+    InjectedServeFault,
 )
 from repro.faults.plan import (
     DNS_SERVFAIL,
@@ -41,6 +42,8 @@ from repro.faults.plan import (
     PROFILES,
     RTR_CACHE_RESET,
     RTR_SESSION_DROP,
+    SERVE_STALE,
+    SERVE_TIMEOUT,
     FaultPlan,
 )
 from repro.faults.retry import (
@@ -67,12 +70,15 @@ __all__ = [
     "InjectedDumpFault",
     "InjectedFault",
     "InjectedRTRFault",
+    "InjectedServeFault",
     "PROFILES",
     "ReproError",
     "RetryExhausted",
     "RetryPolicy",
     "RTR_CACHE_RESET",
     "RTR_SESSION_DROP",
+    "SERVE_STALE",
+    "SERVE_TIMEOUT",
     "TransientFault",
     "call_with_retry",
 ]

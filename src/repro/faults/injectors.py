@@ -61,6 +61,17 @@ class InjectedRTRFault(InjectedFault, RTRError):
     """An injected RTR transport failure (dropped session)."""
 
 
+class InjectedServeFault(InjectedFault):
+    """An injected serving-layer failure (stale snapshot, missed refresh).
+
+    Unlike the substrate faults above there is no wrapped object to
+    proxy: the query service consults the plan itself, catches this
+    fault on the query path, and *degrades* the answer (``stale`` or
+    ``degraded`` marker) instead of letting it escape — a read-only
+    index can always serve what it has.
+    """
+
+
 _DNS_MESSAGES = {
     DNS_SERVFAIL: "SERVFAIL from upstream",
     DNS_TIMEOUT: "query timed out",

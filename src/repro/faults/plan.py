@@ -36,6 +36,8 @@ DUMP_CORRUPT = "dump.corrupt"
 DUMP_MISSING_ROUTE = "dump.missing_route"
 RTR_SESSION_DROP = "rtr.session_drop"
 RTR_CACHE_RESET = "rtr.cache_reset"
+SERVE_STALE = "serve.stale"      # query hit a snapshot behind the world
+SERVE_TIMEOUT = "serve.timeout"  # upstream refresh missed its deadline
 
 FAULT_KINDS: Tuple[str, ...] = (
     DNS_SERVFAIL,
@@ -45,6 +47,8 @@ FAULT_KINDS: Tuple[str, ...] = (
     DUMP_MISSING_ROUTE,
     RTR_SESSION_DROP,
     RTR_CACHE_RESET,
+    SERVE_STALE,
+    SERVE_TIMEOUT,
 )
 
 # Named profiles for the CLI.  "flaky" models everyday measurement
@@ -60,6 +64,8 @@ PROFILES: Dict[str, Dict[str, float]] = {
         DUMP_MISSING_ROUTE: 0.02,
         RTR_SESSION_DROP: 0.05,
         RTR_CACHE_RESET: 0.02,
+        SERVE_STALE: 0.04,
+        SERVE_TIMEOUT: 0.02,
     },
     "degraded": {
         DNS_SERVFAIL: 0.15,
@@ -69,6 +75,8 @@ PROFILES: Dict[str, Dict[str, float]] = {
         DUMP_MISSING_ROUTE: 0.05,
         RTR_SESSION_DROP: 0.12,
         RTR_CACHE_RESET: 0.05,
+        SERVE_STALE: 0.10,
+        SERVE_TIMEOUT: 0.05,
     },
     "chaos": {kind: 0.30 for kind in FAULT_KINDS},
 }

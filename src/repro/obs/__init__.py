@@ -39,6 +39,7 @@ from repro.obs.progress import (
 from repro.obs.report import (
     cache_report,
     degradation_report,
+    serve_report,
     stage_timing_report,
     timing_summary,
     timing_table,
@@ -91,6 +92,7 @@ __all__ = [
     "registry_to_wire",
     "reset_logging",
     "scope",
+    "serve_report",
     "stage_timing_report",
     "thread_scope",
     "stderr_renderer",

@@ -108,6 +108,51 @@ def cache_report(
     return "\n".join([table.render(), f"hit rate: {rate}"])
 
 
+def serve_report(summary: Mapping[str, object]) -> str:
+    """Render a query-service run summary as latency/verdict tables.
+
+    ``summary`` is the plain-dict shape of
+    :func:`repro.serve.service.summarize_responses` (same rationale
+    as :func:`degradation_report`: this module takes values, not
+    pipeline objects).
+    """
+    table = TextTable(["query kind", "count", "p50 ms", "p99 ms"])
+    by_kind = summary.get("by_kind", {})
+    for kind in sorted(by_kind):
+        entry = by_kind[kind]
+        table.add_row(
+            kind,
+            entry["count"],
+            f"{entry['p50_ms']:.3f}",
+            f"{entry['p99_ms']:.3f}",
+        )
+    lines = [table.render()]
+    verdicts = summary.get("verdicts", {})
+    if verdicts:
+        verdict_table = TextTable(["verdict", "answers"])
+        for state in sorted(verdicts):
+            verdict_table.add_row(state, verdicts[state])
+        verdict_table.add_row("total", sum(verdicts.values()))
+        lines.append(verdict_table.render())
+    degraded = summary.get("degraded", {})
+    marked = sum(degraded.values()) if degraded else 0
+    queries = summary.get("queries", 0)
+    share = f" ({marked / queries:.1%} of {queries})" if queries else ""
+    markers = ", ".join(
+        f"{marker}={count}" for marker, count in sorted(degraded.items())
+    )
+    lines.append(
+        f"degraded answers: {marked}{share}"
+        + (f" [{markers}]" if markers else "")
+    )
+    if "qps" in summary:
+        lines.append(
+            f"throughput: {summary['qps']} queries/s "
+            f"over {summary.get('elapsed_s', 0)}s"
+        )
+    return "\n".join(lines)
+
+
 def timing_summary(stats: Mapping[str, SpanStats]) -> Dict[str, object]:
     """JSON-ready aggregate (the BENCH_obs.json payload)."""
     return {

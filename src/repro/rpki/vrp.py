@@ -83,13 +83,26 @@ class ValidatedPayloads:
         self, announced: Prefix, origin: Union[int, ASN]
     ) -> OriginValidation:
         """RFC 6811 origin validation of one announcement."""
+        state, _covering = self.validate_with_covering(announced, origin)
+        return state
+
+    def validate_with_covering(
+        self, announced: Prefix, origin: Union[int, ASN]
+    ) -> Tuple[OriginValidation, List[VRP]]:
+        """Verdict plus the covering VRPs it was judged against.
+
+        One trie walk serves both; the serving layer's ``validate``
+        query returns the evidence (covering ROAs, shortest prefix
+        first) alongside the verdict, the way an RTR-attached router
+        operator would audit an INVALID.
+        """
         covering = self.covering_vrps(announced)
         if not covering:
-            return OriginValidation.NOT_FOUND
+            return OriginValidation.NOT_FOUND, covering
         for vrp in covering:
             if vrp.matches(announced, origin):
-                return OriginValidation.VALID
-        return OriginValidation.INVALID
+                return OriginValidation.VALID, covering
+        return OriginValidation.INVALID, covering
 
     def covered(self, announced: Prefix) -> bool:
         """True when the RPKI says *anything* about the prefix."""

@@ -1,0 +1,13 @@
+"""Serving-layer errors."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ServeError(ReproError):
+    """Base of every serving-layer error."""
+
+
+class QueryError(ServeError):
+    """A query is malformed (bad kind, missing argument, bad script line)."""

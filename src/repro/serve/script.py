@@ -1,0 +1,68 @@
+"""Parsing query scripts for the ``serve`` CLI subcommand.
+
+A query script is a plain-text file, one query per line::
+
+    # comments and blank lines are skipped
+    validate 93.184.216.0/24 64500
+    lookup 93.184.216.34
+    domain example.com
+    rank_slice 1 100
+
+Malformed lines raise :class:`~repro.serve.errors.QueryError` with
+the line number — a script is configuration, not traffic, so it
+fails loudly instead of degrading.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.net import parse_address, parse_prefix
+from repro.net.errors import NetError
+from repro.serve.errors import QueryError
+from repro.serve.service import Query
+
+
+def parse_query(text: str) -> Query:
+    """One script line (already stripped of comments) to a Query."""
+    parts = text.split()
+    if not parts:
+        raise QueryError("empty query line")
+    kind, args = parts[0], parts[1:]
+    try:
+        if kind == "validate":
+            if len(args) != 2:
+                raise QueryError("validate takes <prefix> <origin-asn>")
+            return Query.validate(parse_prefix(args[0]), int(args[1]))
+        if kind == "lookup":
+            if len(args) != 1:
+                raise QueryError("lookup takes <ip-address>")
+            return Query.lookup(parse_address(args[0]))
+        if kind == "domain":
+            if len(args) != 1:
+                raise QueryError("domain takes <name>")
+            return Query.domain(args[0])
+        if kind == "rank_slice":
+            if len(args) != 2:
+                raise QueryError("rank_slice takes <first> <last>")
+            return Query.rank_slice(int(args[0]), int(args[1]))
+    except (NetError, ValueError) as error:
+        raise QueryError(f"bad {kind} arguments {args}: {error}") from error
+    raise QueryError(
+        f"unknown query kind {kind!r}; "
+        "known: validate, lookup, domain, rank_slice"
+    )
+
+
+def parse_script(text: str) -> List[Query]:
+    """Every query in a script body, in line order."""
+    queries: List[Query] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            queries.append(parse_query(line))
+        except QueryError as error:
+            raise QueryError(f"line {number}: {error}") from error
+    return queries

@@ -1,8 +1,16 @@
-"""Unit tests for repro.net.trie — the radix trie."""
+"""Unit tests for repro.net.trie — the radix trie.
+
+The tail of this module is property-based: hypothesis generates
+dual-stack prefix sets and checks every trie lookup against a
+sorted-linear-scan oracle that shares no code with the trie.
+"""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.net import Address, Prefix, PrefixTrie
+from repro.net.addr import IPV4, IPV6
 
 
 def P(text):
@@ -148,6 +156,160 @@ class TestIteration:
         trie = PrefixTrie()
         trie.insert(P("10.0.0.0/8"), 1)
         assert "1 entries" in repr(trie)
+
+
+def _family_prefixes(family, bits):
+    @st.composite
+    def strat(draw):
+        length = draw(st.integers(min_value=0, max_value=bits))
+        value = draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        return Prefix.from_address(Address(family, value), length)
+
+    return strat()
+
+
+_any_prefix = st.one_of(
+    _family_prefixes(IPV4, 32), _family_prefixes(IPV6, 128)
+)
+
+
+def _prefix_sets():
+    """Dual-stack prefix lists; duplicates and nesting both allowed."""
+    return st.lists(_any_prefix, min_size=0, max_size=24)
+
+
+@st.composite
+def _targets(draw, entries):
+    """An Address or Prefix target, biased towards stored prefixes."""
+    if entries and draw(st.booleans()):
+        prefix = entries[
+            draw(st.integers(min_value=0, max_value=len(entries) - 1))
+        ]
+        host_bits = prefix.bits - prefix.length
+        host = (
+            draw(st.integers(min_value=0, max_value=(1 << host_bits) - 1))
+            if host_bits
+            else 0
+        )
+        value = prefix.value | host
+        if draw(st.booleans()):
+            return Address(prefix.family, value)
+        length = draw(
+            st.integers(min_value=prefix.length, max_value=prefix.bits)
+        )
+        return Prefix.from_address(Address(prefix.family, value), length)
+    if draw(st.booleans()):
+        family, bits = draw(st.sampled_from(((IPV4, 32), (IPV6, 128))))
+        return Address(
+            family, draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        )
+    return draw(_any_prefix)
+
+
+class TestDifferentialProperties:
+    """Trie lookups vs a linear-scan oracle over random prefix sets."""
+
+    @staticmethod
+    def build(entries):
+        trie = PrefixTrie()
+        for index, prefix in enumerate(entries):
+            trie.insert(prefix, index)
+        return trie
+
+    @staticmethod
+    def oracle_covering(entries, target):
+        """All (prefix, value) pairs covering ``target``, shortest
+        first, insertion order breaking ties — by linear scan."""
+        if isinstance(target, Address):
+            target = target.to_prefix()
+        matches = [
+            (prefix, index)
+            for index, prefix in enumerate(entries)
+            if prefix.family == target.family and prefix.covers(target)
+        ]
+        return sorted(matches, key=lambda item: item[0].length)
+
+    @given(prefix_sets=_prefix_sets(), targets=st.data())
+    def test_covering_matches_linear_scan(self, prefix_sets, targets):
+        entries = prefix_sets
+        trie = self.build(entries)
+        target = targets.draw(_targets(entries), label="target")
+        assert trie.covering(target) == self.oracle_covering(entries, target)
+
+    @given(prefix_sets=_prefix_sets(), targets=st.data())
+    def test_lookup_longest_matches_linear_scan(self, prefix_sets, targets):
+        entries = prefix_sets
+        trie = self.build(entries)
+        target = targets.draw(_targets(entries), label="target")
+        expected = self.oracle_covering(entries, target)
+        result = trie.lookup_longest(target)
+        if not expected:
+            assert result is None
+        else:
+            longest = expected[-1][0]
+            prefix, values = result
+            assert prefix == longest
+            assert values == [
+                index for p, index in expected if p == longest
+            ]
+
+    @given(prefix_sets=_prefix_sets())
+    def test_covered_pair_enumeration_matches_quadratic_scan(
+        self, prefix_sets
+    ):
+        """Every stored (coverer, covered) pair the trie can express
+        agrees with the O(n^2) definition of coverage."""
+        entries = prefix_sets
+        trie = self.build(entries)
+        stored = list(trie.items())
+        assert sorted(stored) == sorted(
+            (prefix, index) for index, prefix in enumerate(entries)
+        )
+        trie_pairs = {
+            (coverer, prefix)
+            for prefix, _index in stored
+            for coverer, _value in trie.covering(prefix)
+        }
+        naive_pairs = {
+            (coverer, covered)
+            for coverer in entries
+            for covered in entries
+            if coverer.family == covered.family and coverer.covers(covered)
+        }
+        assert trie_pairs == naive_pairs
+
+    @given(prefix_sets=_prefix_sets(), targets=st.data())
+    def test_remove_then_lookup_stays_consistent(self, prefix_sets, targets):
+        entries = prefix_sets
+        trie = self.build(entries)
+        victim = targets.draw(
+            st.integers(min_value=0, max_value=len(entries) - 1)
+            if entries
+            else st.just(-1),
+            label="victim",
+        )
+        if victim >= 0:
+            assert trie.remove(entries[victim], victim)
+        survivors = [
+            (prefix, index)
+            for index, prefix in enumerate(entries)
+            if index != victim
+        ]
+        target = targets.draw(_targets(entries), label="target")
+        if isinstance(target, Address):
+            target_prefix = target.to_prefix()
+        else:
+            target_prefix = target
+        expected = sorted(
+            (
+                (prefix, index)
+                for prefix, index in survivors
+                if prefix.family == target_prefix.family
+                and prefix.covers(target_prefix)
+            ),
+            key=lambda item: item[0].length,
+        )
+        assert trie.covering(target) == expected
 
 
 class TestScale:
