@@ -47,6 +47,10 @@ def main() -> int:
                         help="snapshot directory (default: a fresh tempdir)")
     parser.add_argument("--min-speedup", type=float, default=2.0)
     parser.add_argument("--out", default=str(DEFAULT_OUT))
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the uncached run under cProfile and "
+                             "write collapsed stacks next to --out "
+                             "(BENCH_incremental.folded)")
     args = parser.parse_args()
 
     print(f"building world: {args.domains} domains, seed {args.seed} ...")
@@ -58,7 +62,17 @@ def main() -> int:
     study = MeasurementStudy.from_ecosystem(world)
 
     print("uncached run ...")
-    baseline_result, baseline_seconds = measure(study)
+    if args.profile:
+        from repro.obs import profile_report, profile_scope
+
+        with profile_scope() as capture:
+            baseline_result, baseline_seconds = measure(study)
+        folded_path = Path(args.out).with_suffix(".folded")
+        lines = capture.report.write_folded(folded_path)
+        print(f"  profile: {folded_path} ({lines} folded stacks)")
+        print(profile_report(capture.report, top=10))
+    else:
+        baseline_result, baseline_seconds = measure(study)
     print(f"  {baseline_seconds:.2f}s")
 
     with tempfile.TemporaryDirectory() as scratch:

@@ -41,6 +41,10 @@ def main() -> int:
                         choices=["serial", "thread", "process"])
     parser.add_argument("--shard-size", type=int, default=None)
     parser.add_argument("--out", default=str(DEFAULT_OUT))
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the serial run under cProfile and "
+                             "write collapsed stacks next to --out "
+                             "(BENCH_parallel.folded)")
     args = parser.parse_args()
 
     print(f"building world: {args.domains} domains, seed {args.seed} ...")
@@ -52,7 +56,17 @@ def main() -> int:
     study = MeasurementStudy.from_ecosystem(world)
 
     print("serial run ...")
-    serial_result, serial_seconds = measure(study)
+    if args.profile:
+        from repro.obs import profile_report, profile_scope
+
+        with profile_scope() as capture:
+            serial_result, serial_seconds = measure(study)
+        folded_path = Path(args.out).with_suffix(".folded")
+        lines = capture.report.write_folded(folded_path)
+        print(f"  profile: {folded_path} ({lines} folded stacks)")
+        print(profile_report(capture.report, top=10))
+    else:
+        serial_result, serial_seconds = measure(study)
     print(f"  {serial_seconds:.2f}s")
 
     print(f"parallel run: {args.workers} workers, {args.mode} pool ...")

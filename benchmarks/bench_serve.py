@@ -56,6 +56,10 @@ def main() -> int:
                         help="simulated per-query IO wait in seconds")
     parser.add_argument("--zipf", type=float, default=1.1)
     parser.add_argument("--out", default=str(DEFAULT_OUT))
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the serial dispatch under cProfile "
+                             "and write collapsed stacks next to --out "
+                             "(BENCH_serve.folded)")
     args = parser.parse_args()
 
     print(f"building world: {args.domains} domains, seed {args.seed} ...")
@@ -78,11 +82,18 @@ def main() -> int:
     print(f"load: {len(queries)} queries (zipf {args.zipf})")
 
     print("serial dispatch ...")
-    serial_responses, serial = dispatch(
-        index,
-        queries,
-        ServeConfig(mode="serial", simulated_io_s=args.io_wait),
-    )
+    serial_config = ServeConfig(mode="serial", simulated_io_s=args.io_wait)
+    if args.profile:
+        from repro.obs import profile_report, profile_scope
+
+        with profile_scope() as capture:
+            serial_responses, serial = dispatch(index, queries, serial_config)
+        folded_path = Path(args.out).with_suffix(".folded")
+        lines = capture.report.write_folded(folded_path)
+        print(f"  profile: {folded_path} ({lines} folded stacks)")
+        print(profile_report(capture.report, top=10))
+    else:
+        serial_responses, serial = dispatch(index, queries, serial_config)
     print(f"  {serial['elapsed_s']}s, {serial['qps']} qps")
 
     print(f"threaded dispatch: {args.workers} workers ...")

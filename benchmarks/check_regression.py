@@ -1,0 +1,227 @@
+"""Bench-regression gate: diff current ``BENCH_*.json`` vs a baseline.
+
+Each benchmark record carries a handful of trajectory metrics — wall
+times (lower is better) and speedup/throughput ratios (higher is
+better).  This gate loads the baseline copy of each record (the one
+committed in ``benchmarks/``, or ``--baseline-dir``), loads the
+freshly produced copy (``--current-dir``), and fails when any metric
+moved against its direction by more than its tolerance::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \\
+        --baseline-dir benchmarks --current-dir /tmp/bench-out
+
+A time metric with tolerance 0.5 fails when the current value exceeds
+``baseline * 1.5``; a ratio metric with tolerance 0.3 fails when the
+current value drops below ``baseline * 0.7``.  The default tolerances
+are deliberately loose — this is a trajectory gate for catching a
+sustained 2x slide on the same machine, not a microbenchmark
+assertion; CI runs it against a same-run baseline so cross-machine
+noise never enters the comparison.
+
+``--inject-factor 2.0`` multiplies every current time metric (and
+divides every ratio metric) before comparing — the self-test CI uses
+to prove the gate actually fails on a 2x slowdown.
+
+Missing files are skipped with a note (a benchmark that never ran in
+this environment is not a regression); a metric present in the
+baseline but missing from the current record *is* a failure, because
+silently dropping a tracked metric is exactly the kind of drift the
+gate exists to catch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional
+
+DEFAULT_DIR = Path(__file__).parent
+
+# Loose default tolerances: times may grow 50%, ratios may shrink 30%
+# before the gate trips.  An injected 2x slowdown violates both.
+TIME_TOLERANCE = 0.5
+RATIO_TOLERANCE = 0.3
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One gated metric inside one ``BENCH_*.json`` record."""
+
+    path: str                      # dotted path into the record
+    kind: str                      # "time" (lower better) | "ratio" (higher)
+    tolerance: float
+
+    def extract(self, record: dict) -> Optional[float]:
+        node = record
+        for part in self.path.split("."):
+            if not isinstance(node, dict) or part not in node:
+                return None
+            node = node[part]
+        return float(node) if isinstance(node, (int, float)) else None
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One benchmark artifact and its gated metrics."""
+
+    filename: str
+    metrics: tuple
+    # Optional reducer turning the raw record into a metric-bearing
+    # dict (used for BENCH_obs.json, a per-test timing map).
+    reduce: Optional[Callable[[dict], dict]] = None
+
+    def load(self, directory: Path) -> Optional[dict]:
+        path = directory / self.filename
+        if not path.exists():
+            return None
+        record = json.loads(path.read_text())
+        return self.reduce(record) if self.reduce else record
+
+
+def _obs_totals(record: dict) -> dict:
+    """Collapse the per-test timing map into one aggregate wall time."""
+    total = sum(
+        entry.get("total_s", 0.0)
+        for entry in record.values()
+        if isinstance(entry, dict)
+    )
+    return {"suite_total_s": total}
+
+
+BENCHES = (
+    BenchSpec(
+        "BENCH_parallel.json",
+        (
+            MetricSpec("serial_seconds", "time", TIME_TOLERANCE),
+            MetricSpec("parallel_seconds", "time", TIME_TOLERANCE),
+            MetricSpec("build_seconds", "time", TIME_TOLERANCE),
+        ),
+    ),
+    BenchSpec(
+        "BENCH_incremental.json",
+        (
+            MetricSpec("uncached_seconds", "time", TIME_TOLERANCE),
+            MetricSpec("cold_seconds", "time", TIME_TOLERANCE),
+            MetricSpec("warm_seconds", "time", TIME_TOLERANCE),
+            MetricSpec("warm_speedup", "ratio", RATIO_TOLERANCE),
+        ),
+    ),
+    BenchSpec(
+        "BENCH_serve.json",
+        (
+            MetricSpec("build_seconds", "time", TIME_TOLERANCE),
+            MetricSpec("serial.qps", "ratio", RATIO_TOLERANCE),
+            MetricSpec("threaded.qps", "ratio", RATIO_TOLERANCE),
+        ),
+    ),
+    BenchSpec(
+        "BENCH_obs.json",
+        (
+            # The whole golden suite's wall time, gated generously:
+            # individual tests jitter, the aggregate trend matters.
+            MetricSpec("suite_total_s", "time", 1.0),
+        ),
+        reduce=_obs_totals,
+    ),
+)
+
+
+@dataclass
+class Verdict:
+    bench: str
+    metric: str
+    kind: str
+    baseline: float
+    current: float
+    limit: float
+    ok: bool
+
+    @property
+    def change(self) -> float:
+        if self.baseline == 0:
+            return 0.0
+        return self.current / self.baseline
+
+
+def compare(
+    baseline: dict, current: dict, spec: BenchSpec, inject: float
+) -> List[Verdict]:
+    verdicts: List[Verdict] = []
+    for metric in spec.metrics:
+        base_value = metric.extract(baseline)
+        if base_value is None:
+            continue  # metric not tracked in this baseline snapshot
+        cur_value = metric.extract(current)
+        if cur_value is None:
+            verdicts.append(
+                Verdict(spec.filename, metric.path, metric.kind,
+                        base_value, float("nan"), float("nan"), False)
+            )
+            continue
+        if metric.kind == "time":
+            cur_value *= inject
+            limit = base_value * (1.0 + metric.tolerance)
+            ok = cur_value <= limit or base_value == 0.0
+        else:
+            cur_value /= inject
+            limit = base_value * (1.0 - metric.tolerance)
+            ok = cur_value >= limit or base_value == 0.0
+        verdicts.append(
+            Verdict(spec.filename, metric.path, metric.kind,
+                    base_value, cur_value, limit, ok)
+        )
+    return verdicts
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default=str(DEFAULT_DIR),
+                        help="directory holding the baseline BENCH_*.json")
+    parser.add_argument("--current-dir", default=str(DEFAULT_DIR),
+                        help="directory holding the fresh BENCH_*.json")
+    parser.add_argument("--inject-factor", type=float, default=1.0,
+                        help="multiply current times (and divide ratios) "
+                             "by this factor before comparing; the gate's "
+                             "self-test passes 2.0 to prove it fails")
+    args = parser.parse_args()
+
+    baseline_dir = Path(args.baseline_dir)
+    current_dir = Path(args.current_dir)
+    verdicts: List[Verdict] = []
+    skipped: List[str] = []
+
+    for spec in BENCHES:
+        baseline = spec.load(baseline_dir)
+        current = spec.load(current_dir)
+        if baseline is None or current is None:
+            side = "baseline" if baseline is None else "current"
+            skipped.append(f"{spec.filename} (no {side} record)")
+            continue
+        verdicts.extend(compare(baseline, current, spec, args.inject_factor))
+
+    width = max((len(f"{v.bench}:{v.metric}") for v in verdicts), default=20)
+    for v in verdicts:
+        name = f"{v.bench}:{v.metric}".ljust(width)
+        direction = "<=" if v.kind == "time" else ">="
+        print(f"  {'ok  ' if v.ok else 'FAIL'} {name} "
+              f"{v.current:9.3f} {direction} {v.limit:9.3f} "
+              f"(baseline {v.baseline:.3f}, {v.change:.2f}x)")
+    for note in skipped:
+        print(f"  skip {note}")
+
+    failures = [v for v in verdicts if not v.ok]
+    checked = len(verdicts)
+    if failures:
+        print(f"regression gate: {len(failures)}/{checked} metrics "
+              f"regressed beyond tolerance")
+        return 1
+    print(f"regression gate: {checked} metrics within tolerance "
+          f"({len(skipped)} skipped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

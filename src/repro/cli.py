@@ -75,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persist per-stage artifacts under DIR; a "
                           "re-run with unchanged inputs recomputes "
                           "nothing and returns a bit-identical result")
+    _add_telemetry_args(run)
 
     refresh = sub.add_parser(
         "refresh",
@@ -95,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "www/apex equality heuristic")
     refresh.add_argument("--metrics-out", metavar="FILE", default=None,
                          help="write Prometheus text metrics to FILE")
+    _add_telemetry_args(refresh)
 
     export = sub.add_parser(
         "export",
@@ -161,7 +163,50 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the run summary as JSON to FILE")
     serve.add_argument("--metrics-out", metavar="FILE", default=None,
                        help="write Prometheus text metrics to FILE")
+    _add_telemetry_args(serve)
     return parser
+
+
+def _add_telemetry_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--telemetry-port", type=int, default=None,
+                     metavar="PORT",
+                     help="expose /metrics, /health, /ready, and "
+                          "/snapshot over HTTP on PORT while the "
+                          "command runs (0 = ephemeral port)")
+    sub.add_argument("--telemetry-host", default="127.0.0.1",
+                     metavar="HOST",
+                     help="bind address for --telemetry-port")
+    sub.add_argument("--telemetry-linger", type=float, default=0.0,
+                     metavar="SEC",
+                     help="keep the telemetry endpoints up SEC "
+                          "seconds after the work finishes (lets an "
+                          "external scraper read the final state)")
+
+
+def _start_telemetry(args):
+    """Start the exposition daemon (reads the process-wide registry)."""
+    from repro.obs.http import TelemetryServer
+
+    server = TelemetryServer(
+        host=args.telemetry_host, port=args.telemetry_port
+    )
+    server.start()
+    print(
+        f"  telemetry: {server.url} "
+        "(/metrics /health /ready /snapshot)"
+    )
+    return server
+
+
+def _finish_telemetry(server, linger_s: float) -> None:
+    if server is None:
+        return
+    try:
+        if linger_s > 0:
+            print(f"  telemetry: lingering {linger_s:.0f}s at {server.url}")
+            time.sleep(linger_s)
+    finally:
+        server.stop()
 
 
 def _print_series(title: str, series_map, limit: int = 20) -> None:
@@ -192,11 +237,17 @@ def run_study(args: argparse.Namespace) -> int:
     from repro import obs
 
     wanted = set(args.figure or ["1", "2", "3", "4", "table1", "cdn-as"])
-    observe = bool(args.progress or args.metrics_out or args.trace_out)
+    telemetry_on = args.telemetry_port is not None
+    observe = bool(
+        args.progress or args.metrics_out or args.trace_out or telemetry_on
+    )
     registry = collector = None
+    telemetry = None
     if observe:
         registry, collector = obs.enable()
     try:
+        if telemetry_on:
+            telemetry = _start_telemetry(args)
         print(f"building world: {args.domains} domains, seed {args.seed} ...")
         started = time.time()
         world = WebEcosystem.build(
@@ -219,9 +270,12 @@ def run_study(args: argparse.Namespace) -> int:
             progress=progress,
             cache=CacheConfig(args.cache_dir) if args.cache_dir else None,
         )
-        result = MeasurementStudy.from_ecosystem(world).run(config=config)
+        study = MeasurementStudy.from_ecosystem(world)
+        result = study.run(config=config)
         label = f" ({args.workers} workers)" if args.workers > 1 else ""
         print(f"  measured in {time.time() - started:.1f}s{label}")
+        if telemetry is not None:
+            _stamp_health(telemetry.health, study, config, args)
 
         stats = pipeline_statistics(result, registry=registry)
         print("\n== Section 4 statistics ==")
@@ -259,10 +313,39 @@ def run_study(args: argparse.Namespace) -> int:
             if args.trace_out:
                 spans = collector.dump(args.trace_out)
                 print(f"  trace: {args.trace_out} ({spans} spans)")
+        _finish_telemetry(telemetry, args.telemetry_linger)
+        telemetry = None
     finally:
+        _finish_telemetry(telemetry, 0.0)
         if observe:
             obs.disable()
     return 0
+
+
+def _stamp_health(health, study, config, args) -> None:
+    """Stamp a completed (re)build onto the telemetry health card.
+
+    The digests are the snapshot cache's fingerprints of the study's
+    inputs — the same values :meth:`ServingIndex.stale_against` and
+    cache invalidation key on — so ``/health`` and a cache store
+    describing the same world agree byte for byte.
+    """
+    from repro.cache.fingerprint import (
+        config_fingerprint,
+        dump_digest,
+        vrp_digest,
+        vrp_items,
+        zone_digest,
+    )
+
+    health.set_digests({
+        "zone": zone_digest(study.resolver.namespace),
+        "dump": dump_digest(study.table_dump),
+        "vrps": vrp_digest(vrp_items(study.payloads)),
+        "config": config_fingerprint(config),
+    })
+    health.set_detail(domains=args.domains, seed=args.seed)
+    health.mark_refresh()
 
 
 def _render_figures(args, wanted, world, result) -> None:
@@ -299,11 +382,16 @@ def _render_figures(args, wanted, world, result) -> None:
 def run_refresh(args: argparse.Namespace) -> int:
     from repro import obs
 
-    observe = bool(args.metrics_out)
+    telemetry_on = args.telemetry_port is not None
+    observe = bool(args.metrics_out or telemetry_on)
     registry = None
+    telemetry = None
+    slo = None
     if observe:
         registry, _collector = obs.enable()
     try:
+        if telemetry_on:
+            telemetry = _start_telemetry(args)
         print(f"building world: {args.domains} domains, seed {args.seed} ...")
         world = WebEcosystem.build(
             EcosystemConfig(domain_count=args.domains, seed=args.seed)
@@ -315,12 +403,20 @@ def run_refresh(args: argparse.Namespace) -> int:
             else None
         )
         continuous = ContinuousStudy(study, config)
+        if observe:
+            slo = obs.SLOTracker()
+            continuous.attach_telemetry(
+                slo=slo,
+                health=telemetry.health if telemetry else None,
+            )
         started = time.time()
         baseline = continuous.baseline()
         print(
             f"  baseline: {len(baseline)} domains "
             f"in {time.time() - started:.1f}s"
         )
+        if telemetry is not None:
+            _stamp_health(telemetry.health, study, config, args)
         mode = "cache" if args.cache_dir else "heuristic"
         for campaign in range(1, args.campaigns + 1):
             moved = world.rehost(args.churn, generation=campaign)
@@ -341,10 +437,19 @@ def run_refresh(args: argparse.Namespace) -> int:
                     f"{s.cache_misses_total} misses, "
                     f"{invalidated} artifacts invalidated"
                 )
+            if telemetry is not None:
+                # Re-stamp: the campaign re-measured a churned world,
+                # so the input digests (and freshness) moved.
+                _stamp_health(telemetry.health, study, config, args)
+        if slo is not None:
+            slo.export(registry)
         if observe and args.metrics_out:
             size = registry.write_prometheus(args.metrics_out)
             print(f"  metrics: {args.metrics_out} ({size} bytes)")
+        _finish_telemetry(telemetry, args.telemetry_linger)
+        telemetry = None
     finally:
+        _finish_telemetry(telemetry, 0.0)
         if observe:
             obs.disable()
     return 0
@@ -416,11 +521,16 @@ def run_serve(args: argparse.Namespace) -> int:
         summarize_responses,
     )
 
-    observe = bool(args.metrics_out)
+    telemetry_on = args.telemetry_port is not None
+    observe = bool(args.metrics_out or telemetry_on)
     registry = None
+    telemetry = None
+    slo = None
     if observe:
         registry, _collector = obs.enable()
     try:
+        if telemetry_on:
+            telemetry = _start_telemetry(args)
         print(f"building world: {args.domains} domains, seed {args.seed} ...")
         world = WebEcosystem.build(
             EcosystemConfig(domain_count=args.domains, seed=args.seed)
@@ -438,6 +548,19 @@ def run_serve(args: argparse.Namespace) -> int:
             result = study.run()
             index = ServingIndex.build(study, result)
             print(f"  index built in {time.time() - started:.1f}s: {index!r}")
+        if telemetry is not None:
+            from repro.cache.fingerprint import config_fingerprint
+
+            health = telemetry.health
+            health.set_digests({
+                **index.digests,
+                "config": config_fingerprint(None),
+            })
+            health.set_detail(
+                domains=args.domains, seed=args.seed, source=index.source
+            )
+            health.set_staleness(lambda: index.stale_against(study))
+            health.mark_refresh()
 
         if args.script:
             with open(args.script) as handle:
@@ -459,12 +582,15 @@ def run_serve(args: argparse.Namespace) -> int:
         faults = None
         if args.fault_profile:
             faults = FaultPlan.from_profile(args.fault_profile, seed=args.seed)
+        if observe:
+            slo = obs.SLOTracker()
         service = QueryService(index, ServeConfig(
             workers=args.workers,
             mode=args.serve_mode,
             batch_size=args.batch_size,
             faults=faults,
             simulated_io_s=args.io_wait,
+            slo=slo,
         ))
         started = time.time()
         responses = service.run(queries)
@@ -480,10 +606,15 @@ def run_serve(args: argparse.Namespace) -> int:
                 json.dump(summary, handle, indent=1, sort_keys=True)
                 handle.write("\n")
             print(f"  summary: {args.json}")
+        if slo is not None:
+            slo.export(registry)
         if observe and args.metrics_out:
             size = registry.write_prometheus(args.metrics_out)
             print(f"  metrics: {args.metrics_out} ({size} bytes)")
+        _finish_telemetry(telemetry, args.telemetry_linger)
+        telemetry = None
     finally:
+        _finish_telemetry(telemetry, 0.0)
         if observe:
             obs.disable()
     return 0

@@ -21,8 +21,9 @@ re-run.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.pipeline import (
     MeasurementStudy,
@@ -32,6 +33,9 @@ from repro.core.pipeline import (
 )
 from repro.core.records import DomainMeasurement, NameMeasurement
 from repro.obs.runtime import metrics
+
+# The refresh loop's own objective name in an attached SLO tracker.
+REFRESH_SLO = "refresh"
 
 REFRESH_QUERIES_METRIC = "ripki_refresh_queries_total"
 REFRESH_CARRYOVER_METRIC = "ripki_refresh_carryover_total"
@@ -129,26 +133,93 @@ class ContinuousStudy:
         self._study = study
         self._config = config
         self._previous: Optional[StudyResult] = None
+        self._slo = None
+        self._health = None
+        self._telemetry_clock: Callable[[], float] = time.perf_counter
+        self._refresh_deadline_s = 60.0
+        self._last_refresh_at: Optional[float] = None
+        self._campaigns = 0
+
+    def attach_telemetry(
+        self,
+        slo=None,
+        health=None,
+        clock: Optional[Callable[[], float]] = None,
+        refresh_deadline_s: float = 60.0,
+    ) -> "ContinuousStudy":
+        """Wire the campaign loop into the live telemetry plane.
+
+        ``slo`` (an :class:`~repro.obs.window.SLOTracker`) gets a
+        ``refresh`` latency objective — each campaign's wall time is
+        one event, good when it met ``refresh_deadline_s`` — so the
+        exported error-budget gauge answers "how often is this loop
+        falling behind the world".  ``health`` (an
+        :class:`~repro.obs.http.HealthSource`) is stamped after every
+        campaign, which is what drives ``/health``'s
+        ``last_refresh_age_s`` and ``/ready``.  An injected ``clock``
+        makes campaign durations (and therefore the SLO windows)
+        deterministic under virtual time.  Returns ``self`` to chain.
+        """
+        self._slo = slo
+        self._health = health
+        if clock is not None:
+            self._telemetry_clock = clock
+        self._refresh_deadline_s = refresh_deadline_s
+        if slo is not None:
+            slo.declare(
+                REFRESH_SLO,
+                threshold_s=refresh_deadline_s,
+                target=0.95,
+            )
+        return self
+
+    @property
+    def last_refresh_age_s(self) -> Optional[float]:
+        """Seconds since the last completed campaign (None before
+        the baseline)."""
+        if self._last_refresh_at is None:
+            return None
+        return self._telemetry_clock() - self._last_refresh_at
+
+    def _record_campaign(self, elapsed: float, campaigns: int) -> None:
+        self._last_refresh_at = self._telemetry_clock()
+        if self._slo is not None:
+            self._slo.observe(
+                REFRESH_SLO,
+                elapsed,
+                ok=elapsed <= self._refresh_deadline_s,
+            )
+        if self._health is not None:
+            self._health.mark_refresh()
+            self._health.set_detail(campaigns=campaigns)
 
     def baseline(self) -> StudyResult:
         """The initial full campaign (both name forms everywhere)."""
+        started = self._telemetry_clock()
         if self._config is not None:
             result = self._study.run(config=self._config)
         else:
             result = self._study.run()
         self._previous = result
+        self._campaigns = 1
+        self._record_campaign(self._telemetry_clock() - started, self._campaigns)
         return result
 
     def refresh(self) -> Tuple[StudyResult, RefreshStats]:
         """An incremental campaign; see the class docstring for modes."""
         if self._previous is None:
             raise RuntimeError("call baseline() before refresh()")
+        started = self._telemetry_clock()
         if self._config is not None and self._config.cache is not None:
             result, stats = self._cached_refresh()
         else:
             result, stats = self._heuristic_refresh()
         stats.to_metrics(metrics())
         self._previous = result
+        self._campaigns += 1
+        self._record_campaign(
+            self._telemetry_clock() - started, self._campaigns
+        )
         return result, stats
 
     def _cached_refresh(self) -> Tuple[StudyResult, RefreshStats]:

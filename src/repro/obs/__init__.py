@@ -13,9 +13,17 @@ Four instruments, one switchboard:
 * :mod:`repro.obs.runtime` — the process-wide enable/disable switch
   (null implementations by default, so instrumentation is free when
   nobody is watching),
-* :mod:`repro.obs.report` — timing tables and JSON summaries.
+* :mod:`repro.obs.report` — timing tables and JSON summaries,
+* :mod:`repro.obs.window` — sliding-window histograms/rates and the
+  SLO tracker (live "last N seconds" views over a long-running
+  service, deterministic under an injected clock),
+* :mod:`repro.obs.http` — the stdlib telemetry daemon exposing
+  ``/metrics``, ``/health``, ``/ready``, and ``/snapshot``,
+* :mod:`repro.obs.profile` — cProfile harness emitting folded
+  flamegraph stacks and top-N cumulative tables.
 """
 
+from repro.obs.http import HealthSource, TelemetryServer
 from repro.obs.logging import get_logger, kv, reset_logging
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -27,8 +35,15 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
     merge_registries,
+    registry_from_snapshot,
     registry_from_wire,
     registry_to_wire,
+)
+from repro.obs.profile import (
+    ProfileCapture,
+    ProfileEntry,
+    ProfileReport,
+    profile_scope,
 )
 from repro.obs.progress import (
     CaptureProgress,
@@ -39,6 +54,7 @@ from repro.obs.progress import (
 from repro.obs.report import (
     cache_report,
     degradation_report,
+    profile_report,
     serve_report,
     stage_timing_report,
     timing_summary,
@@ -61,12 +77,24 @@ from repro.obs.tracing import (
     SpanStats,
     TraceCollector,
 )
+from repro.obs.window import (
+    EXPORTED_QUANTILES,
+    RollingRate,
+    SLOStatus,
+    SLOTarget,
+    SLOTracker,
+    WindowedHistogram,
+    estimate_quantiles,
+    quantile_from_buckets,
+)
 
 __all__ = [
     "CaptureProgress",
     "Counter",
     "DEFAULT_BUCKETS",
+    "EXPORTED_QUANTILES",
     "Gauge",
+    "HealthSource",
     "Histogram",
     "MetricError",
     "MetricsRegistry",
@@ -74,20 +102,34 @@ __all__ = [
     "NULL_TRACER",
     "NullRegistry",
     "NullTracer",
+    "ProfileCapture",
+    "ProfileEntry",
+    "ProfileReport",
     "ProgressEvent",
     "ProgressReporter",
+    "RollingRate",
+    "SLOStatus",
+    "SLOTarget",
+    "SLOTracker",
     "Span",
     "SpanStats",
+    "TelemetryServer",
     "TraceCollector",
+    "WindowedHistogram",
     "cache_report",
     "degradation_report",
     "disable",
     "enable",
+    "estimate_quantiles",
     "get_logger",
     "kv",
     "merge_registries",
     "metrics",
     "observability_enabled",
+    "profile_report",
+    "profile_scope",
+    "quantile_from_buckets",
+    "registry_from_snapshot",
     "registry_from_wire",
     "registry_to_wire",
     "reset_logging",

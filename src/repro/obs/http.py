@@ -1,0 +1,270 @@
+"""Live telemetry exposition over HTTP (stdlib only).
+
+A long-running validator is only as trustworthy as its live
+introspection — the paper's core finding is that deployed RPKI
+pipelines degrade *silently*.  :class:`TelemetryServer` is the
+always-on window: a daemon-threaded :class:`ThreadingHTTPServer`
+serving four read-only endpoints over the process's observability
+state:
+
+* ``GET /metrics`` — Prometheus text exposition, byte-identical to
+  what :meth:`MetricsRegistry.write_prometheus` writes for the same
+  registry state (same renderer, same UTF-8 bytes);
+* ``GET /health`` — always-200 JSON: uptime, the build/config
+  digests shared with the snapshot-cache fingerprints, staleness,
+  and the age of the last refresh;
+* ``GET /ready`` — 200 when serving fresh state, 503 when the
+  :class:`HealthSource` reports stale or not-yet-serving (the same
+  staleness signal :meth:`ServingIndex.stale_against` computes);
+* ``GET /snapshot`` — the registry's JSON ``snapshot()``.
+
+The server holds no state of its own: the registry is read at scrape
+time (default: whatever :func:`repro.obs.runtime.metrics` resolves
+to), and the :class:`HealthSource` is a small mutable card its owner
+— a :class:`QueryService` wrapper, a ``ContinuousStudy`` loop, the
+CLI — stamps as the world changes.  Scrapes never block the serving
+path: rendering reads plain ints/floats under the GIL, and counters
+only ever increase, so a concurrent scrape sees a monotone (possibly
+slightly behind) view, never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional
+
+from repro.obs import runtime
+
+Clock = Callable[[], float]
+
+
+class HealthSource:
+    """The mutable health card a telemetry server reads.
+
+    Owners stamp it as state changes: :meth:`set_digests` after an
+    index build (the same zone/dump/vrps fingerprints the snapshot
+    cache keys artifacts by, plus the config fingerprint),
+    :meth:`mark_refresh` after every (re)build, :meth:`set_staleness`
+    with a callable probing the current world (e.g. ``lambda:
+    index.stale_against(study)``).  Reads never raise: a staleness
+    probe that throws reports stale (a broken probe is not evidence
+    of freshness).
+    """
+
+    def __init__(self, clock: Optional[Clock] = None):
+        self._clock: Clock = clock if clock is not None else time.monotonic
+        self._started = self._clock()
+        self._lock = threading.Lock()
+        self._digests: Dict[str, str] = {}
+        self._last_refresh: Optional[float] = None
+        self._staleness: Optional[Callable[[], bool]] = None
+        self._serving = False
+        self._detail: Dict[str, object] = {}
+
+    # -- owner-side stamps ---------------------------------------------------
+
+    def set_digests(self, digests: Dict[str, str]) -> None:
+        with self._lock:
+            self._digests = dict(digests)
+
+    def set_staleness(self, probe: Optional[Callable[[], bool]]) -> None:
+        with self._lock:
+            self._staleness = probe
+
+    def mark_refresh(self) -> None:
+        """Stamp 'the served state was (re)built now'."""
+        with self._lock:
+            self._last_refresh = self._clock()
+            self._serving = True
+
+    def set_detail(self, **detail: object) -> None:
+        """Attach free-form JSON-able fields (domain count, mode...)."""
+        with self._lock:
+            self._detail.update(detail)
+
+    # -- scrape-side reads ---------------------------------------------------
+
+    @property
+    def uptime_s(self) -> float:
+        return self._clock() - self._started
+
+    @property
+    def last_refresh_age_s(self) -> Optional[float]:
+        with self._lock:
+            stamp = self._last_refresh
+        if stamp is None:
+            return None
+        return self._clock() - stamp
+
+    def stale(self) -> bool:
+        with self._lock:
+            probe = self._staleness
+        if probe is None:
+            return False
+        try:
+            return bool(probe())
+        except Exception:
+            return True
+
+    def ready(self) -> bool:
+        """Serving, and not stale."""
+        with self._lock:
+            serving = self._serving
+        return serving and not self.stale()
+
+    def to_json(self) -> Dict[str, object]:
+        with self._lock:
+            digests = dict(self._digests)
+            detail = dict(self._detail)
+            serving = self._serving
+        age = self.last_refresh_age_s
+        stale = self.stale()
+        return {
+            "uptime_s": round(self.uptime_s, 3),
+            "serving": serving,
+            "stale": stale,
+            "ready": serving and not stale,
+            "digests": digests,
+            "last_refresh_age_s": (
+                round(age, 3) if age is not None else None
+            ),
+            "detail": detail,
+        }
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    """Routes the four endpoints; everything else is 404."""
+
+    server_version = "ripki-telemetry/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            body = self._registry().render_prometheus().encode("utf-8")
+            self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
+        elif path == "/snapshot":
+            self._json(200, self._registry().snapshot())
+        elif path == "/health":
+            self._json(200, self._health().to_json())
+        elif path == "/ready":
+            health = self._health()
+            ready = health.ready()
+            self._json(
+                200 if ready else 503,
+                {"ready": ready, "stale": health.stale()},
+            )
+        else:
+            self._json(404, {"error": f"unknown path {path!r}"})
+
+    def _registry(self):
+        return self.server.telemetry.registry  # type: ignore[attr-defined]
+
+    def _health(self) -> HealthSource:
+        return self.server.telemetry.health  # type: ignore[attr-defined]
+
+    def _reply(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, status: int, payload: Dict[str, object]) -> None:
+        # No sort_keys: payloads are already deterministically ordered,
+        # and a snapshot's per-series label order *is* the metric's
+        # labelnames order — re-sorting would break
+        # ``registry_from_snapshot``'s render-identical reconstruction.
+        body = (json.dumps(payload, indent=1) + "\n").encode("utf-8")
+        self._reply(status, body, "application/json")
+
+    def log_message(self, format: str, *args: object) -> None:
+        # Scrapes are high-frequency; stderr chatter stays off.
+        pass
+
+
+class TelemetryServer:
+    """The exposition daemon: bind, serve in a thread, stop cleanly.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`port` reports
+    the bound one.  ``registry=None`` resolves the process-wide
+    registry *at scrape time* through :func:`repro.obs.runtime.metrics`,
+    so a CLI that calls :func:`repro.obs.enable` after constructing
+    the server still exposes the right instruments.  Usable as a
+    context manager.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        health: Optional[HealthSource] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._registry = registry
+        self.health = health if health is not None else HealthSource()
+        self._host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def registry(self):
+        if self._registry is not None:
+            return self._registry
+        return runtime.metrics()
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "TelemetryServer":
+        if self._httpd is not None:
+            return self
+        httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), _TelemetryHandler
+        )
+        httpd.daemon_threads = True
+        httpd.telemetry = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="ripki-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"<TelemetryServer {self.url} {state}>"

@@ -391,9 +391,9 @@ class MetricsRegistry:
     def write_prometheus(self, path) -> int:
         """Write the text exposition to ``path``; returns byte count."""
         text = self.render_prometheus()
-        with open(path, "w") as handle:
+        with open(path, "w", encoding="utf-8") as handle:
             handle.write(text)
-        return len(text)
+        return len(text.encode("utf-8"))
 
 
 class NullRegistry:
@@ -490,6 +490,69 @@ def registry_from_wire(wire: Iterable[list]) -> MetricsRegistry:
                 child._count = count
             else:
                 child._value = payload
+    return registry
+
+
+def registry_from_snapshot(snapshot: Mapping[str, dict]) -> MetricsRegistry:
+    """Rebuild a registry from :meth:`MetricsRegistry.snapshot` output.
+
+    The reconstruction renders byte-identical Prometheus text to the
+    source registry: label names come back in the snapshot's dict
+    order (which preserves the source's label order), histogram
+    bounds are recovered from the per-series bucket lists, and the
+    cumulative bucket counts are de-accumulated into raw ones.  The
+    only information the snapshot form lacks — the label *names* of a
+    labelled metric with zero children, and the bucket layout of a
+    histogram with zero series — cannot affect rendering, because
+    neither produces any series lines.
+    """
+    registry = MetricsRegistry()
+    for name, family in snapshot.items():
+        kind = family["type"]
+        help = family.get("help", "")
+        series = family.get("series", [])
+        labelnames: Tuple[str, ...] = ()
+        if series:
+            labelnames = tuple(series[0]["labels"])
+        else:
+            # Unlabelled metrics always carry their one implicit
+            # series, so an empty list can only mean "labelled, no
+            # children yet".  The actual label names are unknowable
+            # and irrelevant — any non-empty tuple reproduces the
+            # series-less rendering (HELP/TYPE lines only).
+            labelnames = ("label",)
+        if kind == "histogram":
+            if not series:
+                # Bounds equally unknowable and irrelevant.
+                registry.histogram(name, help, labelnames)
+                continue
+            bounds = tuple(
+                bound for bound, _count in series[0]["buckets"][:-1]
+            )
+            metric = registry.histogram(
+                name, help, labelnames, buckets=bounds
+            )
+        elif kind == "counter":
+            metric = registry.counter(name, help, labelnames)
+        elif kind == "gauge":
+            metric = registry.gauge(name, help, labelnames)
+        else:
+            raise MetricError(f"unknown snapshot metric kind {kind!r}")
+        for entry in series:
+            child = (
+                metric.labels(**entry["labels"]) if labelnames else metric
+            )
+            if kind == "histogram":
+                cumulative = [count for _bound, count in entry["buckets"]]
+                raw = [
+                    count - (cumulative[index - 1] if index else 0)
+                    for index, count in enumerate(cumulative)
+                ]
+                child._counts = raw
+                child._sum = entry["sum"]
+                child._count = entry["count"]
+            else:
+                child._value = entry["value"]
     return registry
 
 

@@ -153,6 +153,30 @@ def serve_report(summary: Mapping[str, object]) -> str:
     return "\n".join(lines)
 
 
+def profile_report(report, top: int = 15) -> str:
+    """Render a :class:`~repro.obs.profile.ProfileReport` top-N table.
+
+    Cumulative-time order — the flamegraph's widest frames first —
+    with self time alongside so leaf hotspots stand out too.
+    """
+    table = TextTable(
+        ["function", "calls", "self ms", "cumulative ms"]
+    )
+    for entry in report.top(top):
+        table.add_row(
+            entry.label,
+            entry.calls,
+            f"{entry.self_s * 1000:.3f}",
+            f"{entry.cumulative_s * 1000:.3f}",
+        )
+    lines = [table.render()]
+    lines.append(
+        f"({len(report)} functions profiled, "
+        f"{report.total_seconds():.3f}s total self time)"
+    )
+    return "\n".join(lines)
+
+
 def timing_summary(stats: Mapping[str, SpanStats]) -> Dict[str, object]:
     """JSON-ready aggregate (the BENCH_obs.json payload)."""
     return {

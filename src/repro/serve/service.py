@@ -47,6 +47,7 @@ from repro.obs.runtime import (
     tracer,
 )
 from repro.obs.tracing import TraceCollector
+from repro.obs.window import SLOTracker, estimate_quantiles
 from repro.serve.errors import QueryError
 from repro.serve.index import (
     LookupAnswer,
@@ -184,6 +185,11 @@ class ServeConfig:
     faults: Optional[FaultPlan] = None
     simulated_io_s: float = 0.0
     assume_stale: bool = False         # mark every answer stale
+    # Windowed SLO accounting: every answered query feeds the
+    # tracker's per-kind latency objective ("serve.<kind>"), a marked
+    # answer counts against the error budget.  Excluded from config
+    # equality — the tracker is a live accumulator, not a knob.
+    slo: Optional[SLOTracker] = field(default=None, compare=False)
 
     def __post_init__(self):
         if self.mode not in SERVE_MODES:
@@ -373,6 +379,10 @@ class QueryService:
                 _METRIC_HELP[SERVE_DEGRADED_METRIC],
                 labelnames=("marker",),
             ).labels(marker=marker).inc()
+        if self.config.slo is not None:
+            self.config.slo.observe(
+                f"serve.{query.kind}", elapsed, ok=not marker
+            )
 
 
 def _answer_states(answer) -> List[str]:
@@ -396,13 +406,32 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[min(rank, len(ordered)) - 1]
 
 
+def _kind_summary(latencies: List[float]) -> Dict[str, object]:
+    """One kind's count/p50/p99 via the shared bucket estimator.
+
+    The latencies pass through the registry's fixed histogram bounds
+    and :func:`repro.obs.window.quantile_from_buckets` — the *same*
+    estimator the windowed SLO gauges use — so this table and the
+    ``ripki_serve_latency_*``/``ripki_slo_latency_*`` series can
+    never disagree about a quantile.
+    """
+    p50, p99 = estimate_quantiles(latencies, (0.50, 0.99))
+    return {
+        "count": len(latencies),
+        "p50_ms": round(p50 * 1000, 3),
+        "p99_ms": round(p99 * 1000, 3),
+    }
+
+
 def summarize_responses(
     responses: Sequence[Response], elapsed_s: Optional[float] = None
 ) -> Dict[str, object]:
     """JSON-ready latency/verdict summary of one dispatched run.
 
     The CLI's closing table, the benchmark's ``BENCH_serve.json``,
-    and the CI smoke checks all consume this one shape.
+    and the CI smoke checks all consume this one shape.  Quantiles
+    are bucket-estimated (see :func:`_kind_summary`), matching the
+    live Prometheus series bucket for bucket.
     """
     by_kind: Dict[str, List[float]] = {}
     verdicts: Dict[str, int] = {}
@@ -418,11 +447,7 @@ def summarize_responses(
     summary: Dict[str, object] = {
         "queries": len(responses),
         "by_kind": {
-            kind: {
-                "count": len(latencies),
-                "p50_ms": round(percentile(latencies, 50) * 1000, 3),
-                "p99_ms": round(percentile(latencies, 99) * 1000, 3),
-            }
+            kind: _kind_summary(latencies)
             for kind, latencies in sorted(by_kind.items())
         },
         "verdicts": dict(sorted(verdicts.items())),

@@ -126,3 +126,76 @@ class TestObservabilityFlags:
         from repro.obs.runtime import observability_enabled
 
         assert not observability_enabled()
+
+
+class TestTelemetryFlags:
+    def test_parser_defaults_off(self):
+        for command in ("run", "refresh", "serve"):
+            args = build_parser().parse_args([command])
+            assert args.telemetry_port is None
+            assert args.telemetry_host == "127.0.0.1"
+            assert args.telemetry_linger == 0.0
+
+    def test_run_with_telemetry_plane(self, capsys, tmp_path):
+        metrics_path = tmp_path / "m.prom"
+        exit_code = main(
+            ["run", "--domains", "300", "--seed", "3", "--figure", "table1",
+             "--telemetry-port", "0", "--metrics-out", str(metrics_path)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "telemetry: http://127.0.0.1:" in out
+        assert "/metrics /health /ready /snapshot" in out
+        assert "ripki_domains_measured_total 300" in metrics_path.read_text()
+
+        from repro.obs.runtime import observability_enabled
+
+        assert not observability_enabled()
+
+    def test_live_scrape_matches_metrics_out(self, tmp_path):
+        """The acceptance pin: a scrape during the linger window is
+        byte-identical to the --metrics-out file."""
+        import json
+        import os
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        metrics_path = tmp_path / "m.prom"
+        env = dict(os.environ)
+        src = str(pytest.importorskip("repro").__file__).rsplit(
+            "/repro/", 1
+        )[0]
+        env["PYTHONPATH"] = src
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli",
+             "serve", "--domains", "200", "--seed", "3",
+             "--queries", "200",
+             "--telemetry-port", "0", "--telemetry-linger", "20",
+             "--metrics-out", str(metrics_path)],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            url = None
+            for line in process.stdout:
+                if "telemetry: http://" in line:
+                    url = line.split("telemetry: ", 1)[1].split()[0]
+                if line.startswith("  telemetry: lingering"):
+                    break
+            assert url, "telemetry URL never printed"
+            deadline = time.monotonic() + 30
+            while not metrics_path.exists():
+                assert time.monotonic() < deadline
+                time.sleep(0.1)
+            with urllib.request.urlopen(f"{url}/metrics", timeout=5) as rsp:
+                scraped = rsp.read()
+            with urllib.request.urlopen(f"{url}/ready", timeout=5) as rsp:
+                ready = json.loads(rsp.read())
+            assert scraped == metrics_path.read_bytes()
+            assert ready["ready"] is True
+        finally:
+            process.kill()
+            process.wait(timeout=10)

@@ -1,0 +1,203 @@
+"""The live telemetry plane: endpoint parity, readiness, concurrency."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import MeasurementStudy
+from repro.obs import HealthSource, MetricsRegistry, TelemetryServer
+from repro.serve import ServingIndex
+from repro.web import EcosystemConfig, WebEcosystem
+
+
+def get(url: str):
+    """(status, headers, body-bytes) without raising on 4xx/5xx."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry()
+    counter = registry.counter(
+        "ripki_scrape_events_total", "events", labelnames=("kind",)
+    )
+    counter.labels(kind="dns").inc(3)
+    registry.histogram(
+        "ripki_scrape_seconds", "latency", buckets=(0.01, 0.1)
+    ).observe(0.05)
+    return registry
+
+
+class TestEndpoints:
+    def test_metrics_is_byte_identical_to_renderer(self, registry, tmp_path):
+        with TelemetryServer(registry=registry) as server:
+            status, headers, body = get(f"{server.url}/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        assert body == registry.render_prometheus().encode("utf-8")
+        # ... which is also exactly what write_prometheus puts on disk.
+        out = tmp_path / "metrics.prom"
+        written = registry.write_prometheus(out)
+        assert out.read_bytes() == body
+        assert written == len(body)
+
+    def test_snapshot_is_the_registry_snapshot(self, registry):
+        with TelemetryServer(registry=registry) as server:
+            status, _, body = get(f"{server.url}/snapshot")
+        assert status == 200
+        assert json.loads(body) == json.loads(
+            json.dumps(registry.snapshot())
+        )
+
+    def test_snapshot_body_rebuilds_the_scraped_text(self, registry):
+        """The endpoint encoding must not perturb label order — a
+        registry rebuilt from the served JSON renders the same bytes
+        the /metrics endpoint serves."""
+        from repro.obs import registry_from_snapshot
+
+        # Two-label metric with non-alphabetical labelnames: the case
+        # sort_keys-style re-serialization would silently reorder.
+        gauge = registry.gauge(
+            "ripki_scrape_window", labelnames=("slo", "quantile")
+        )
+        for slo in ("validate", "lookup"):
+            for quantile in ("p50", "p99"):
+                gauge.labels(slo=slo, quantile=quantile).set(1.5)
+        with TelemetryServer(registry=registry) as server:
+            _, _, snapshot_body = get(f"{server.url}/snapshot")
+            _, _, metrics_body = get(f"{server.url}/metrics")
+        rebuilt = registry_from_snapshot(json.loads(snapshot_body))
+        assert rebuilt.render_prometheus().encode("utf-8") == metrics_body
+
+    def test_health_carries_digests_and_detail(self, registry):
+        health = HealthSource()
+        health.set_digests({"zone": "abc", "vrps": "def"})
+        health.set_detail(domains=120, seed=2015)
+        health.mark_refresh()
+        with TelemetryServer(registry=registry, health=health) as server:
+            status, _, body = get(f"{server.url}/health")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["digests"] == {"zone": "abc", "vrps": "def"}
+        assert payload["detail"] == {"domains": 120, "seed": 2015}
+        assert payload["serving"] is True
+        assert payload["ready"] is True
+        assert payload["uptime_s"] >= 0
+        assert payload["last_refresh_age_s"] >= 0
+
+    def test_health_is_200_even_when_not_ready(self, registry):
+        with TelemetryServer(registry=registry) as server:
+            health_status, _, body = get(f"{server.url}/health")
+            ready_status, _, _ = get(f"{server.url}/ready")
+        assert health_status == 200
+        assert json.loads(body)["ready"] is False
+        assert ready_status == 503
+
+    def test_unknown_path_is_404(self, registry):
+        with TelemetryServer(registry=registry) as server:
+            status, _, _ = get(f"{server.url}/nope")
+        assert status == 404
+
+    def test_trailing_slash_and_query_string_accepted(self, registry):
+        with TelemetryServer(registry=registry) as server:
+            status, _, _ = get(f"{server.url}/metrics/?format=prometheus")
+        assert status == 200
+
+
+class TestReadiness:
+    def test_ready_flips_on_stale_index(self, registry):
+        """/ready follows ServingIndex.stale_against as the world moves."""
+        world = WebEcosystem.build(EcosystemConfig(domain_count=60, seed=7))
+        study = MeasurementStudy.from_ecosystem(world)
+        index = ServingIndex.build(study, study.run())
+        moved = WebEcosystem.build(EcosystemConfig(domain_count=60, seed=8))
+        current = {"study": study}
+
+        health = HealthSource()
+        health.set_digests(index.digests)
+        health.set_staleness(
+            lambda: index.stale_against(current["study"])
+        )
+        health.mark_refresh()
+        with TelemetryServer(registry=registry, health=health) as server:
+            fresh_status, _, _ = get(f"{server.url}/ready")
+            # The world re-hosts everything under the index.
+            current["study"] = MeasurementStudy.from_ecosystem(moved)
+            stale_status, _, stale_body = get(f"{server.url}/ready")
+            _, _, health_body = get(f"{server.url}/health")
+        assert fresh_status == 200
+        assert stale_status == 503
+        assert json.loads(stale_body) == {"ready": False, "stale": True}
+        assert json.loads(health_body)["stale"] is True
+
+    def test_broken_staleness_probe_reads_stale(self):
+        health = HealthSource()
+        health.mark_refresh()
+
+        def explode():
+            raise RuntimeError("probe lost its world")
+
+        health.set_staleness(explode)
+        assert health.stale() is True
+        assert health.ready() is False
+
+
+class TestConcurrency:
+    def test_concurrent_scrapes_see_monotone_counters(self, registry):
+        """Scrapes racing live increments never see a counter go back."""
+        counter = registry.counter(
+            "ripki_scrape_events_total", labelnames=("kind",)
+        ).labels(kind="dns")
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                counter.inc()
+
+        writer = threading.Thread(target=hammer, daemon=True)
+        needle = 'ripki_scrape_events_total{kind="dns"} '
+        seen = []
+        with TelemetryServer(registry=registry) as server:
+            writer.start()
+            try:
+                for _ in range(25):
+                    _, _, body = get(f"{server.url}/metrics")
+                    line = next(
+                        line
+                        for line in body.decode("utf-8").splitlines()
+                        if line.startswith(needle)
+                    )
+                    seen.append(int(line.split()[-1]))
+            finally:
+                stop.set()
+                writer.join(timeout=5)
+        assert seen == sorted(seen)
+        assert seen[-1] >= seen[0] >= 3
+
+    def test_stop_releases_the_port(self, registry):
+        server = TelemetryServer(registry=registry).start()
+        port = server.port
+        server.stop()
+        assert not server.running
+        rebound = TelemetryServer(
+            registry=registry, port=port
+        ).start()
+        try:
+            assert rebound.port == port
+        finally:
+            rebound.stop()
+
+
+class TestRuntimeRegistryResolution:
+    def test_default_registry_resolves_at_scrape_time(self):
+        from repro.obs import runtime
+
+        with TelemetryServer() as server:
+            assert server.registry is runtime.metrics()

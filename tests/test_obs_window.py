@@ -1,0 +1,268 @@
+"""Windowed instruments and SLO tracking under virtual time."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import MetricError
+from repro.obs.window import (
+    EXPORTED_QUANTILES,
+    SLO_BUDGET_METRIC,
+    SLO_COMPLIANCE_METRIC,
+    SLO_EVENTS_METRIC,
+    SLO_LATENCY_METRIC,
+    SLO_TARGET_METRIC,
+    RollingRate,
+    SLOTarget,
+    SLOTracker,
+    WindowedHistogram,
+    estimate_quantiles,
+    quantile_from_buckets,
+)
+
+
+class VirtualClock:
+    """A clock the test advances by hand."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+BOUNDS = (0.01, 0.1, 1.0)
+
+
+class TestQuantileFromBuckets:
+    def test_empty_estimates_zero(self):
+        assert quantile_from_buckets(BOUNDS, [0, 0, 0, 0], 0.99) == 0.0
+
+    def test_interpolates_inside_target_bucket(self):
+        # counts [1, 2, 1, 0] -> cumulative [1, 3, 4, 4]
+        cumulative = [1, 3, 4, 4]
+        # p50: rank 2 lands in (0.01, 0.1], halfway through its 2 events
+        assert quantile_from_buckets(BOUNDS, cumulative, 0.50) == pytest.approx(
+            0.055
+        )
+        # p95: rank 3.8 lands in (0.1, 1.0], 80% through its 1 event
+        assert quantile_from_buckets(BOUNDS, cumulative, 0.95) == pytest.approx(
+            0.82
+        )
+
+    def test_first_bucket_interpolates_from_zero(self):
+        # All 4 events under 0.01: p50 is 50% of the way from 0 to 0.01.
+        assert quantile_from_buckets(BOUNDS, [4, 4, 4, 4], 0.50) == pytest.approx(
+            0.005
+        )
+
+    def test_inf_bucket_clamps_to_highest_finite_bound(self):
+        # Every event beyond the last finite bound.
+        assert quantile_from_buckets(BOUNDS, [0, 0, 0, 5], 0.99) == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MetricError):
+            quantile_from_buckets(BOUNDS, [1, 2], 0.5)
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(MetricError):
+            quantile_from_buckets(BOUNDS, [1, 1, 1, 1], 1.5)
+
+
+class TestEstimateQuantiles:
+    def test_matches_windowed_histogram_bucketing(self):
+        """The offline estimator and the live instrument agree exactly."""
+        values = [0.005, 0.02, 0.02, 0.5, 0.07, 1.4]
+        clock = VirtualClock()
+        histogram = WindowedHistogram(buckets=BOUNDS, clock=clock)
+        for value in values:
+            histogram.observe(value)
+        offline = estimate_quantiles(values, (0.50, 0.95, 0.99), bounds=BOUNDS)
+        live = [histogram.quantile(q) for q in (0.50, 0.95, 0.99)]
+        assert offline == live
+
+    def test_empty_values(self):
+        assert estimate_quantiles([], (0.5, 0.99), bounds=BOUNDS) == [0.0, 0.0]
+
+
+class TestWindowedHistogram:
+    def test_observations_expire_with_the_window(self):
+        clock = VirtualClock()
+        histogram = WindowedHistogram(
+            buckets=BOUNDS, window_s=60.0, slices=6, clock=clock
+        )
+        for value in (0.005, 0.02, 0.02, 0.5):
+            histogram.observe(value)
+        clock.advance(30.0)
+        histogram.observe(0.07)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(0.615)
+        # 65s after the first burst: its slice is out of the window,
+        # the 30s observation survives.
+        clock.advance(35.0)
+        assert histogram.count == 1
+        assert histogram.sum == pytest.approx(0.07)
+        # And 65s after *that* one, the window is empty.
+        clock.advance(60.0)
+        assert histogram.count == 0
+        assert histogram.quantile(0.99) == 0.0
+
+    def test_same_slice_accumulates(self):
+        clock = VirtualClock()
+        histogram = WindowedHistogram(
+            buckets=BOUNDS, window_s=60.0, slices=6, clock=clock
+        )
+        histogram.observe(0.02)
+        clock.advance(5.0)  # still epoch 0 (slice width 10s)
+        histogram.observe(0.03)
+        assert histogram.raw_counts() == [0, 2, 0, 0]
+
+    def test_ring_reuses_slots_without_leaking_old_epochs(self):
+        clock = VirtualClock()
+        histogram = WindowedHistogram(
+            buckets=BOUNDS, window_s=6.0, slices=3, clock=clock
+        )
+        histogram.observe(0.02)
+        # 3 full windows later the same slot index comes around again.
+        clock.advance(18.0)
+        histogram.observe(0.02)
+        assert histogram.count == 1
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            WindowedHistogram(window_s=0)
+        with pytest.raises(MetricError):
+            WindowedHistogram(slices=0)
+        with pytest.raises(MetricError):
+            WindowedHistogram(buckets=())
+
+
+class TestRollingRate:
+    def test_rate_over_window(self):
+        clock = VirtualClock()
+        rate = RollingRate(window_s=10.0, slices=5, clock=clock)
+        for _ in range(5):
+            rate.tick()
+        assert rate.events() == 5
+        assert rate.rate() == pytest.approx(0.5)
+
+    def test_events_expire(self):
+        clock = VirtualClock()
+        rate = RollingRate(window_s=10.0, slices=5, clock=clock)
+        rate.tick(3)
+        clock.advance(8.0)
+        rate.tick()
+        assert rate.events() == 4
+        clock.advance(4.0)  # first tick's slice now out of window
+        assert rate.events() == 1
+
+
+class TestSLOTarget:
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            SLOTarget("x", threshold_s=0.0)
+        with pytest.raises(MetricError):
+            SLOTarget("x", target=1.0)
+        with pytest.raises(MetricError):
+            SLOTarget("x", window_s=0.0)
+
+
+class TestSLOTracker:
+    def test_declare_is_idempotent_but_rejects_drift(self):
+        tracker = SLOTracker(clock=VirtualClock())
+        first = tracker.declare("serve", threshold_s=0.1, target=0.9)
+        again = tracker.declare("serve", threshold_s=0.1, target=0.9)
+        assert first == again
+        with pytest.raises(MetricError):
+            tracker.declare("serve", threshold_s=0.2, target=0.9)
+
+    def test_observe_auto_declares_with_defaults(self):
+        tracker = SLOTracker(clock=VirtualClock())
+        tracker.observe("adhoc", 0.05)
+        assert tracker.names() == ["adhoc"]
+        assert tracker.status("adhoc").target == SLOTarget("adhoc")
+
+    def test_seeded_window_is_fully_determined(self):
+        """The determinism pin: a fixed observation schedule under a
+        virtual clock produces exact quantile/compliance/budget values."""
+        clock = VirtualClock()
+        tracker = SLOTracker(clock=clock, buckets=BOUNDS)
+        tracker.declare("serve", threshold_s=0.1, target=0.9)
+        for latency in (0.005, 0.02, 0.02, 0.5):
+            tracker.observe("serve", latency)
+        status = tracker.status("serve")
+        assert status.total == 4
+        assert status.good == 3  # 0.5s blew the 0.1s deadline
+        assert status.compliance == pytest.approx(0.75)
+        # 25% bad against a 10% allowance: budget overdrawn, clamped.
+        assert status.budget_remaining == 0.0
+        assert status.quantiles == {
+            "p50": pytest.approx(0.055),
+            "p95": pytest.approx(0.82),
+            "p99": pytest.approx(0.964),
+        }
+        # The same schedule replayed on a fresh tracker pins identically.
+        replay = SLOTracker(clock=VirtualClock(), buckets=BOUNDS)
+        replay.declare("serve", threshold_s=0.1, target=0.9)
+        for latency in (0.005, 0.02, 0.02, 0.5):
+            replay.observe("serve", latency)
+        assert replay.status("serve").quantiles == status.quantiles
+
+    def test_empty_window_is_compliant(self):
+        clock = VirtualClock()
+        tracker = SLOTracker(clock=clock, buckets=BOUNDS)
+        tracker.declare("serve", threshold_s=0.1, target=0.9)
+        tracker.observe("serve", 0.5)
+        clock.advance(70.0)  # past the 60s window
+        status = tracker.status("serve")
+        assert status.total == 0
+        assert status.compliance == 1.0
+        assert status.budget_remaining == 1.0
+
+    def test_failed_events_count_against_budget(self):
+        tracker = SLOTracker(clock=VirtualClock(), buckets=BOUNDS)
+        tracker.declare("serve", threshold_s=0.1, target=0.5)
+        tracker.observe("serve", 0.01, ok=False)  # fast but failed
+        tracker.observe("serve", 0.01, ok=True)
+        status = tracker.status("serve")
+        assert status.good == 1
+        assert status.compliance == pytest.approx(0.5)
+        assert status.budget_remaining == 0.0
+
+    def test_export_writes_all_gauge_series(self):
+        tracker = SLOTracker(clock=VirtualClock(), buckets=BOUNDS)
+        tracker.declare("serve", threshold_s=0.1, target=0.9)
+        for latency in (0.005, 0.02, 0.02, 0.5):
+            tracker.observe("serve", latency)
+        registry = MetricsRegistry()
+        tracker.export(registry)
+        text = registry.render_prometheus()
+        for name in (
+            SLO_LATENCY_METRIC,
+            SLO_COMPLIANCE_METRIC,
+            SLO_BUDGET_METRIC,
+            SLO_EVENTS_METRIC,
+            SLO_TARGET_METRIC,
+        ):
+            assert f"# TYPE {name} gauge" in text
+        for label, _ in EXPORTED_QUANTILES:
+            assert f'{SLO_LATENCY_METRIC}{{quantile="{label}",slo="serve"}}' in text
+        assert f'{SLO_COMPLIANCE_METRIC}{{slo="serve"}} 0.75' in text
+        assert f'{SLO_BUDGET_METRIC}{{slo="serve"}} 0' in text
+        assert f'{SLO_EVENTS_METRIC}{{slo="serve"}} 4' in text
+        assert f'{SLO_TARGET_METRIC}{{slo="serve"}} 0.9' in text
+
+    def test_export_is_point_in_time(self):
+        """Nothing in the registry moves between exports — the
+        byte-identical /metrics contract depends on this."""
+        tracker = SLOTracker(clock=VirtualClock(), buckets=BOUNDS)
+        tracker.declare("serve", threshold_s=0.1, target=0.9)
+        registry = MetricsRegistry()
+        tracker.export(registry)
+        before = registry.render_prometheus()
+        tracker.observe("serve", 5.0)  # window moved; registry must not
+        assert registry.render_prometheus() == before
+        tracker.export(registry)
+        assert registry.render_prometheus() != before

@@ -12,7 +12,8 @@ from repro.crypto import DeterministicRNG
 from repro.exec import decode_name, decode_statistics, encode_name, encode_statistics
 from repro.net import ASN, Address, Prefix, PrefixTrie
 from repro.net.addr import IPV4, IPV6
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, TraceCollector, registry_from_snapshot
+from repro.obs.tracing import Span
 from repro.rpki import VRP, OriginValidation, ResourceSet, ValidatedPayloads
 from repro.rpki.resources import ASNRange
 
@@ -369,3 +370,116 @@ def test_bin_means_weighted_mean_matches_global_mean(values, bin_size):
     assert sum(series.counts) == len(present)
     if present:
         assert abs(series.mean() - sum(present) / len(present)) < 1e-9
+
+
+# -- telemetry plane ----------------------------------------------------------------
+
+
+@st.composite
+def populated_registries(draw):
+    """A registry exercising every metric family and label shape."""
+    registry = MetricsRegistry()
+    labelled = registry.counter(
+        "ripki_prop_events_total", "events", labelnames=("kind",)
+    )
+    for kind, count in draw(label_counts).items():
+        labelled.labels(kind=kind).inc(count)
+    registry.counter("ripki_prop_total", "plain").inc(draw(small_counts))
+    # Labelnames deliberately NOT in alphabetical order: the snapshot
+    # must preserve declaration order or series ordering drifts.
+    paired = registry.gauge(
+        "ripki_prop_window", "windowed", labelnames=("slo", "quantile")
+    )
+    for slo in draw(st.lists(st.sampled_from(["a", "b", "c"]), max_size=3)):
+        for quantile in ("p50", "p99"):
+            paired.labels(slo=slo, quantile=quantile).set(
+                draw(st.integers(min_value=0, max_value=100))
+            )
+    registry.gauge("ripki_prop_level", "level").set(
+        draw(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    )
+    histogram = registry.histogram(
+        "ripki_prop_seconds", "latency", buckets=(0.01, 0.1, 1.0)
+    )
+    for value in draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            max_size=20,
+        )
+    ):
+        histogram.observe(value)
+    return registry
+
+
+@given(populated_registries())
+@settings(max_examples=50)
+def test_registry_snapshot_roundtrip_renders_identically(registry):
+    """snapshot() -> JSON -> registry_from_snapshot() is exposition-exact.
+
+    The /snapshot endpoint is only trustworthy if a registry rebuilt
+    from its payload would scrape the same Prometheus text.
+    """
+    snapshot = json.loads(json.dumps(registry.snapshot()))
+    restored = registry_from_snapshot(snapshot)
+    assert restored.render_prometheus() == registry.render_prometheus()
+    assert restored.snapshot() == registry.snapshot()
+
+
+@st.composite
+def span_forests(draw):
+    """Parent links: parents[i] is an earlier index or None (a root)."""
+    count = draw(st.integers(min_value=1, max_value=12))
+    parents = [None]
+    for index in range(1, count):
+        parents.append(
+            draw(
+                st.one_of(
+                    st.none(),
+                    st.integers(min_value=0, max_value=index - 1),
+                )
+            )
+        )
+    return parents
+
+
+@given(span_forests())
+@settings(max_examples=50)
+def test_chrome_trace_preserves_structure_under_absorb(parents):
+    """Grafting a span forest keeps every parent/child edge intact.
+
+    The Chrome-trace export must tell the same story after a
+    cross-shard merge: absorbed spans keep their in-batch parents
+    (through re-identification) and batch roots re-root under the
+    merging span.
+    """
+    source = [
+        Span(
+            name=f"s{index}",
+            span_id=index + 100,
+            parent_id=(
+                parents[index] + 100 if parents[index] is not None else None
+            ),
+            start=float(index),
+            end=float(index) + 0.5,
+        )
+        for index in range(len(parents))
+    ]
+    collector = TraceCollector()
+    with collector.span("root"):
+        pass
+    root_id = collector.spans("root")[0].span_id
+    collector.absorb(source, parent_id=root_id)
+
+    trace = collector.to_chrome_trace()
+    by_name = {event["name"]: event for event in trace["traceEvents"]}
+    assert len(by_name) == len(parents) + 1
+    assert min(event["ts"] for event in trace["traceEvents"]) == 0.0
+    for index, parent in enumerate(parents):
+        args = by_name[f"s{index}"]["args"]
+        if parent is None:
+            assert args["parent_id"] == root_id
+        else:
+            assert args["parent_id"] == by_name[f"s{parent}"]["args"]["span_id"]
+    # Durations survive the µs conversion within rounding.
+    for index in range(len(parents)):
+        assert by_name[f"s{index}"]["dur"] == 500000.0
