@@ -1,0 +1,130 @@
+"""Session-scaling benchmark for the long-lived RTR daemon.
+
+Builds one synthetic VRP world, connects a large router population
+(1000 sessions by default), then drives a sequence of world publishes
+and records what the push path costs: connect-phase wall time, the
+delta-push latency quantiles from :func:`summarize_publishes`, and
+the delta-vs-snapshot byte ledger proving incremental serials are
+measurably cheaper than re-snapshotting every router each publish::
+
+    PYTHONPATH=src python benchmarks/bench_rtr_serve.py --sessions 1000
+
+The record lands in ``BENCH_rtr_serve.json`` and is gated by
+``check_regression.py`` (connect/publish wall times plus the
+delta-saving ratio).  Exit status asserts the invariants the daemon
+exists to provide: every session ends synchronized at the final
+serial, and the diff stream beat the full-snapshot counterfactual.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.rtrd import (
+    RTRDaemon,
+    RtrdConfig,
+    SyntheticVRPWorld,
+    summarize_publishes,
+)
+
+DEFAULT_OUT = Path(__file__).parent / "BENCH_rtr_serve.json"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vrps", type=int, default=1_000,
+                        help="initial VRP world size")
+    parser.add_argument("--sessions", type=int, default=1_000,
+                        help="concurrent router sessions to sustain")
+    parser.add_argument("--publishes", type=int, default=8,
+                        help="world publishes after the initial sync")
+    parser.add_argument("--changes", type=int, default=50,
+                        help="VRPs churned per publish")
+    parser.add_argument("--seed", default="bench-rtr")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--history", type=int, default=16)
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the publish loop under cProfile and "
+                             "write collapsed stacks next to --out "
+                             "(BENCH_rtr_serve.folded)")
+    args = parser.parse_args()
+
+    print(f"building world: {args.vrps} VRPs, seed {args.seed!r} ...")
+    world = SyntheticVRPWorld(args.vrps, seed=args.seed)
+    daemon = RTRDaemon(
+        RtrdConfig(workers=args.workers, history_limit=args.history)
+    )
+    daemon.publish(world.vrps())
+
+    print(f"connecting {args.sessions} sessions ...")
+    connect_started = time.perf_counter()
+    daemon.connect_many(args.sessions)
+    connect_seconds = time.perf_counter() - connect_started
+    synchronized = len(daemon.manager.synchronized())
+    print(f"  {connect_seconds:.2f}s: {synchronized} synchronized "
+          f"({synchronized / connect_seconds:.0f} sessions/s)")
+
+    def publish_loop() -> float:
+        started = time.perf_counter()
+        for _ in range(args.publishes):
+            world.advance(args.changes)
+            stats = daemon.publish(world.vrps())
+            print(f"  serial {stats.serial}: notified {stats.notified}, "
+                  f"{stats.pushed_bytes} B pushed in "
+                  f"{stats.elapsed_s * 1000:.1f} ms "
+                  f"(snapshot would be "
+                  f"{stats.snapshot_frame_bytes * stats.notified} B)")
+        return time.perf_counter() - started
+
+    print(f"publishing {args.publishes} worlds "
+          f"({args.changes} changes each, {args.workers} workers) ...")
+    if args.profile:
+        from repro.obs import profile_report, profile_scope
+
+        with profile_scope() as capture:
+            publish_seconds = publish_loop()
+        folded_path = Path(args.out).with_suffix(".folded")
+        lines = capture.report.write_folded(folded_path)
+        print(f"  profile: {folded_path} ({lines} folded stacks)")
+        print(profile_report(capture.report, top=10))
+    else:
+        publish_seconds = publish_loop()
+
+    push = summarize_publishes(daemon, elapsed_s=publish_seconds)
+    all_synchronized = push["synchronized"] == args.sessions
+    saved = push["delta_saving_ratio"]
+    record = {
+        "vrps": args.vrps,
+        "sessions": args.sessions,
+        "publishes": args.publishes,
+        "changes_per_publish": args.changes,
+        "workers": args.workers,
+        "history_limit": args.history,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "connect_seconds": round(connect_seconds, 3),
+        "sessions_per_second": round(args.sessions / connect_seconds, 1),
+        "publish_seconds": round(publish_seconds, 3),
+        "push": push,
+        "converged": daemon.converged,
+        "all_synchronized": all_synchronized,
+        "deltas_beat_snapshots": saved > 1.0,
+    }
+    Path(args.out).write_text(json.dumps(record, indent=1) + "\n")
+    print(
+        f"wrote {args.out}: {push['synchronized']}/{args.sessions} "
+        f"synchronized at serial {push['serial']}, push p50/p99 "
+        f"{push['push_p50_ms']}/{push['push_p99_ms']} ms, "
+        f"deltas {saved:.1f}x cheaper than snapshots"
+    )
+    ok = daemon.converged and all_synchronized and saved > 1.0
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -118,6 +118,14 @@ BENCHES = (
         ),
     ),
     BenchSpec(
+        "BENCH_rtr_serve.json",
+        (
+            MetricSpec("connect_seconds", "time", TIME_TOLERANCE),
+            MetricSpec("publish_seconds", "time", TIME_TOLERANCE),
+            MetricSpec("push.delta_saving_ratio", "ratio", RATIO_TOLERANCE),
+        ),
+    ),
+    BenchSpec(
         "BENCH_obs.json",
         (
             # The whole golden suite's wall time, gated generously:

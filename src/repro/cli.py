@@ -164,6 +164,48 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-out", metavar="FILE", default=None,
                        help="write Prometheus text metrics to FILE")
     _add_telemetry_args(serve)
+
+    rtrd = sub.add_parser(
+        "rtrd",
+        help="run the long-lived RTR cache daemon: a churning router "
+             "population synchronises against a mutating VRP world "
+             "over streaming serial deltas; print a session/push "
+             "table and verify every surviving router's table",
+    )
+    rtrd.add_argument("--vrps", type=int, default=2_000,
+                      help="synthetic VRP world size")
+    rtrd.add_argument("--seed", type=int, default=2015)
+    rtrd.add_argument("--sessions", type=int, default=64,
+                      help="target concurrent router sessions")
+    rtrd.add_argument("--rounds", type=int, default=8,
+                      help="churn rounds (one world publish each)")
+    rtrd.add_argument("--world-changes", type=int, default=50,
+                      help="VRPs announced/withdrawn per round")
+    rtrd.add_argument("--disconnect", type=float, default=0.05,
+                      help="fraction of routers disconnecting per round")
+    rtrd.add_argument("--lag", type=float, default=0.1,
+                      help="fraction of routers going read-silent "
+                           "per round")
+    rtrd.add_argument("--garbage", type=float, default=0.05,
+                      help="fraction of routers sending junk bytes "
+                           "per round")
+    rtrd.add_argument("--history", type=int, default=16,
+                      help="serial diffs kept for incremental sync "
+                           "(older routers get a Cache Reset)")
+    rtrd.add_argument("--workers", type=int, default=1,
+                      help="dispatch thread count (1 = serial)")
+    rtrd.add_argument("--rtrd-mode", choices=["auto", "serial", "thread"],
+                      default="auto",
+                      help="dispatch backend (auto: thread pool when "
+                           "--workers > 1)")
+    rtrd.add_argument("--batch-size", type=int, default=None,
+                      help="routers per dispatch batch "
+                           "(default: scaled to workers)")
+    rtrd.add_argument("--json", metavar="FILE", default=None,
+                      help="write the run summary as JSON to FILE")
+    rtrd.add_argument("--metrics-out", metavar="FILE", default=None,
+                      help="write Prometheus text metrics to FILE")
+    _add_telemetry_args(rtrd)
     return parser
 
 
@@ -620,6 +662,120 @@ def run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_rtrd(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.cache.fingerprint import vrp_digest, vrp_items
+    from repro.rtrd import (
+        ChurnProfile,
+        RTRDaemon,
+        RtrdConfig,
+        SyntheticVRPWorld,
+        run_churn,
+        summarize_publishes,
+    )
+
+    telemetry_on = args.telemetry_port is not None
+    observe = bool(args.metrics_out or telemetry_on)
+    registry = None
+    telemetry = None
+    slo = None
+    if observe:
+        registry, _collector = obs.enable()
+    try:
+        if telemetry_on:
+            telemetry = _start_telemetry(args)
+        print(
+            f"building VRP world: {args.vrps} VRPs, seed {args.seed} ..."
+        )
+        world = SyntheticVRPWorld(args.vrps, seed=args.seed)
+        if observe:
+            slo = obs.SLOTracker()
+        daemon = RTRDaemon(RtrdConfig(
+            workers=args.workers,
+            mode=args.rtrd_mode,
+            batch_size=args.batch_size,
+            history_limit=args.history,
+        ))
+        daemon.attach_telemetry(
+            slo=slo,
+            health=telemetry.health if telemetry is not None else None,
+        )
+        if telemetry is not None:
+            health = telemetry.health
+            health.set_detail(
+                vrps=args.vrps, seed=args.seed, sessions=args.sessions
+            )
+            health.set_staleness(lambda: not daemon.converged)
+        started = time.time()
+        daemon.publish(world.vrps())
+        daemon.connect_many(args.sessions)
+        print(
+            f"  {len(daemon.manager.synchronized())}/{args.sessions} "
+            f"sessions synchronized at serial {daemon.serial}"
+        )
+        profile = ChurnProfile(
+            rounds=args.rounds,
+            target_sessions=args.sessions,
+            disconnect=args.disconnect,
+            lag=args.lag,
+            garbage=args.garbage,
+            world_changes=args.world_changes,
+            seed=args.seed,
+        )
+        churn = run_churn(daemon, world, profile)
+        elapsed = time.time() - started
+        if telemetry is not None:
+            telemetry.health.set_digests(
+                {"vrps": vrp_digest(vrp_items(daemon.vrps()))}
+            )
+        mode = daemon.config.resolved_mode
+        label = f" ({args.workers} workers)" if mode == "thread" else ""
+        print(
+            f"  {churn.rounds} churn rounds in {elapsed:.2f}s, "
+            f"{mode} dispatch{label}"
+        )
+        summary = summarize_publishes(daemon, elapsed)
+        summary["churn"] = {
+            "connects": churn.connects,
+            "disconnects": churn.disconnects,
+            "revives": churn.revives,
+            "garbage_frames": churn.garbage_frames,
+            "lag_assignments": churn.lag_assignments,
+            "diverged": churn.diverged,
+            "converged": churn.converged,
+        }
+        print(f"\n== RTR daemon ({len(daemon.manager)} sessions) ==")
+        print(obs.rtrd_report(summary))
+        if churn.diverged:
+            print(f"  DIVERGED: {churn.diverged} router tables differ")
+        else:
+            print(
+                "  all surviving router tables identical to the "
+                "cache snapshot"
+            )
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(summary, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            print(f"  summary: {args.json}")
+        if slo is not None:
+            slo.export(registry)
+        if observe and args.metrics_out:
+            size = registry.write_prometheus(args.metrics_out)
+            print(f"  metrics: {args.metrics_out} ({size} bytes)")
+        _finish_telemetry(telemetry, args.telemetry_linger)
+        telemetry = None
+        if churn.diverged:
+            return 1
+    finally:
+        _finish_telemetry(telemetry, 0.0)
+        if observe:
+            obs.disable()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -632,6 +788,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_audit(args)
     if args.command == "serve":
         return run_serve(args)
+    if args.command == "rtrd":
+        return run_rtrd(args)
     return 1
 
 

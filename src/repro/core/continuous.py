@@ -135,6 +135,7 @@ class ContinuousStudy:
         self._previous: Optional[StudyResult] = None
         self._slo = None
         self._health = None
+        self._rtr = None
         self._telemetry_clock: Callable[[], float] = time.perf_counter
         self._refresh_deadline_s = 60.0
         self._last_refresh_at: Optional[float] = None
@@ -181,7 +182,22 @@ class ContinuousStudy:
             return None
         return self._telemetry_clock() - self._last_refresh_at
 
+    def attach_rtr(self, daemon) -> "ContinuousStudy":
+        """Feed each campaign's validated payloads to an RTR daemon.
+
+        After every completed baseline or refresh, ``daemon``
+        (an :class:`~repro.rtrd.daemon.RTRDaemon`) republishes the
+        study's VRP set to its connected routers.  A campaign that
+        re-derives an unchanged world is a wire no-op: the hardened
+        cache keeps its serial and no router is notified.  Returns
+        ``self`` to chain.
+        """
+        self._rtr = daemon
+        return self
+
     def _record_campaign(self, elapsed: float, campaigns: int) -> None:
+        if self._rtr is not None:
+            self._rtr.publish(self._study.payloads)
         self._last_refresh_at = self._telemetry_clock()
         if self._slo is not None:
             self._slo.observe(

@@ -55,6 +55,7 @@ from repro.obs.report import (
     cache_report,
     degradation_report,
     profile_report,
+    rtrd_report,
     serve_report,
     stage_timing_report,
     timing_summary,
@@ -133,6 +134,7 @@ __all__ = [
     "registry_from_wire",
     "registry_to_wire",
     "reset_logging",
+    "rtrd_report",
     "scope",
     "serve_report",
     "stage_timing_report",

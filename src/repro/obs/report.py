@@ -153,6 +153,42 @@ def serve_report(summary: Mapping[str, object]) -> str:
     return "\n".join(lines)
 
 
+def rtrd_report(summary: Mapping[str, object]) -> str:
+    """Render an RTR daemon run summary as session/push tables.
+
+    ``summary`` is the plain-dict shape of
+    :func:`repro.rtrd.daemon.summarize_publishes` (same rationale as
+    :func:`serve_report`: this module takes values, not daemons).
+    """
+    sessions = TextTable(["sessions", "synchronized", "quarantined", "serial"])
+    sessions.add_row(
+        summary.get("sessions", 0),
+        summary.get("synchronized", 0),
+        summary.get("quarantined", 0),
+        summary.get("serial", 0),
+    )
+    pushes = TextTable(
+        ["publishes", "advanced", "no-op", "p50 ms", "p99 ms"]
+    )
+    pushes.add_row(
+        summary.get("publishes", 0),
+        summary.get("advanced", 0),
+        summary.get("noop", 0),
+        f"{summary.get('push_p50_ms', 0.0):.3f}",
+        f"{summary.get('push_p99_ms', 0.0):.3f}",
+    )
+    lines = [sessions.render(), pushes.render()]
+    pushed = summary.get("delta_bytes", 0) + summary.get("snapshot_bytes", 0)
+    ratio = summary.get("delta_saving_ratio", 0.0)
+    lines.append(
+        f"pushed bytes: {pushed} "
+        f"(diff {summary.get('delta_bytes', 0)}, "
+        f"snapshot {summary.get('snapshot_bytes', 0)}); "
+        f"delta saving ratio: {ratio}x vs full re-snapshot"
+    )
+    return "\n".join(lines)
+
+
 def profile_report(report, top: int = 15) -> str:
     """Render a :class:`~repro.obs.profile.ProfileReport` top-N table.
 

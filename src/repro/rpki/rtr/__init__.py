@@ -12,7 +12,7 @@ encoding, a serial-diff cache server, and a router-side client.
 """
 
 from repro.errors import ReproError
-from repro.rpki.rtr.cache import RTRCache
+from repro.rpki.rtr.cache import RTRCache, Session, SessionState
 from repro.rpki.rtr.client import RTRClient
 from repro.rpki.rtr.errors import RTRError, RTRProtocolError
 from repro.rpki.rtr.pdus import (
@@ -52,6 +52,8 @@ __all__ = [
     "ResetQueryPDU",
     "SerialNotifyPDU",
     "SerialQueryPDU",
+    "Session",
+    "SessionState",
     "TransportPair",
     "decode_pdu",
     "decode_stream",

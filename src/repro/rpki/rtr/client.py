@@ -106,11 +106,31 @@ class RTRClient:
             _pdu_counter().labels(type=type(pdu).__name__).inc()
         if isinstance(pdu, SerialNotifyPDU):
             # Out-of-band poke: fetch the diff unless already syncing.
-            if self.state is not ClientState.SYNCING:
-                self.session_id = (
-                    pdu.session_id if self.session_id is None else self.session_id
+            if self.state is ClientState.SYNCING:
+                return
+            if self.session_id is None:
+                self.session_id = pdu.session_id
+            elif pdu.session_id != self.session_id:
+                # The cache restarted under a fresh session: our table
+                # and serial mean nothing to it any more.  Detecting
+                # the mismatch here (instead of round-tripping a
+                # Serial Query destined for a Cache Reset) goes
+                # straight to the full resync.
+                self._resync(
+                    "ripki_rtr_client_notify_session_mismatch_total",
+                    "Serial Notifies whose session id forced a resync",
                 )
-                self.refresh()
+                return
+            if self.serial is not None and pdu.serial == self.serial:
+                # Already at the notified serial: a Serial Query would
+                # only fetch an empty diff.
+                counters.counter(
+                    "ripki_rtr_client_notify_noop_total",
+                    "Serial Notifies ignored because the serial was "
+                    "already current",
+                ).inc()
+                return
+            self.refresh()
         elif isinstance(pdu, CacheResponsePDU):
             if self.session_id is not None and pdu.session_id != self.session_id:
                 self._fail(
@@ -161,18 +181,10 @@ class RTRClient:
                 "ripki_rtr_client_serial", "The router's last committed serial"
             ).set(pdu.serial)
         elif isinstance(pdu, CacheResetPDU):
-            # The cache cannot diff for us: drop state, full resync.
-            # The session id is forgotten too — the reset may follow a
-            # cache restart under a fresh session.
-            self._table = {}
-            self._pending = None
-            self.serial = None
-            self.session_id = None
-            counters.counter(
+            self._resync(
                 "ripki_rtr_client_resyncs_total",
                 "Cache Resets forcing a full snapshot resync",
-            ).inc()
-            self.start()
+            )
         elif isinstance(pdu, ErrorReportPDU):
             self.last_error = pdu
             self.state = ClientState.ERROR
@@ -181,6 +193,20 @@ class RTRClient:
                 ErrorCode.UNSUPPORTED_PDU_TYPE,
                 f"unexpected {type(pdu).__name__} at router",
             )
+
+    def _resync(self, metric: str, help_text: str) -> None:
+        """Drop every piece of session state and start from scratch.
+
+        The session id is forgotten too — the trigger (a Cache Reset,
+        or a Serial Notify under an unknown session) may follow a
+        cache restart under a fresh session.
+        """
+        self._table = {}
+        self._pending = None
+        self.serial = None
+        self.session_id = None
+        metrics().counter(metric, help_text).inc()
+        self.start()
 
     def _fail(self, code: ErrorCode, message: str) -> None:
         self.state = ClientState.ERROR

@@ -28,6 +28,13 @@ from repro.rpki.vrp import VRP
 PROTOCOL_VERSION = 1
 HEADER = struct.Struct("!BBHI")
 
+# Largest frame either side will buffer for.  The biggest legitimate
+# PDU is an Error Report embedding a full PDU plus diagnostic text —
+# nowhere near 64 KiB.  Without a cap, a corrupt length field (the
+# header's u32 can claim 4 GiB) would make the receiver buffer
+# forever: no error, no progress, a silently black-holed session.
+MAX_PDU_SIZE = 65536
+
 FLAG_ANNOUNCE = 1
 FLAG_WITHDRAW = 0
 
@@ -294,7 +301,7 @@ def decode_stream(buffer: bytes) -> Tuple[List[PDU], bytes]:
     offset = 0
     while len(buffer) - offset >= HEADER.size:
         _v, _t, _s, length = HEADER.unpack_from(buffer, offset)
-        if length < HEADER.size:
+        if length < HEADER.size or length > MAX_PDU_SIZE:
             raise RTRProtocolError("bad length field", ErrorCode.CORRUPT_DATA)
         if len(buffer) - offset < length:
             break  # incomplete tail, keep buffering

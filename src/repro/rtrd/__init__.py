@@ -1,0 +1,41 @@
+"""The long-lived RTR cache daemon (``ripki rtrd``).
+
+Where :mod:`repro.rpki.rtr` provides the wire protocol and
+:mod:`repro.core.continuous` re-derives the VRP world, this package
+is the piece that keeps routers fed *between* derivations: a daemon
+holding one hardened cache and a population of router sessions,
+pushing streaming deltas on every world change, with a seeded churn
+generator to batter it and a differential check that no surviving
+router ever drifts from the cache's table.
+"""
+
+from repro.rtrd.churn import (
+    ChurnProfile,
+    ChurnSummary,
+    SyntheticVRPWorld,
+    run_churn,
+)
+from repro.rtrd.daemon import (
+    PUSH_SLO,
+    PublishStats,
+    RTRDaemon,
+    RtrdConfig,
+    summarize_publishes,
+    wire_table,
+)
+from repro.rtrd.session import SessionManager, SimulatedRouter
+
+__all__ = [
+    "ChurnProfile",
+    "ChurnSummary",
+    "PUSH_SLO",
+    "PublishStats",
+    "RTRDaemon",
+    "RtrdConfig",
+    "SessionManager",
+    "SimulatedRouter",
+    "SyntheticVRPWorld",
+    "run_churn",
+    "summarize_publishes",
+    "wire_table",
+]

@@ -1,0 +1,500 @@
+"""The long-lived RTR cache daemon.
+
+:class:`RTRDaemon` is the push-side counterpart of ``repro.serve``'s
+pull-side query service: instead of answering queries against a
+frozen index, it *pushes* world changes to every connected router.
+One :class:`~repro.rpki.rtr.cache.RTRCache` holds the VRP snapshot
+and its bounded diff history; a
+:class:`~repro.rtrd.session.SessionManager` holds the router
+population; :meth:`publish` installs a new VRP world, fans a Serial
+Notify out to every synchronized session, and pumps the resulting
+serve/poll exchanges to quiescence.
+
+Dispatch mirrors the query service's model exactly: the router list
+is cut into contiguous batches with the executor's planner
+(:func:`repro.exec.sharding.plan_batches`); the threaded backend runs
+batches on a pool with per-batch instrument isolation
+(:func:`repro.obs.runtime.thread_scope`) merged parent-side in batch
+order, so serial and threaded pumps produce identical router tables
+and identical counter totals.  Batches are disjoint router sets and
+the cache's world state is read-only during a pump, so threads never
+contend on session state; the encoded snapshot/diff frame caches are
+a benign race (both threads compute the same bytes).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exec.sharding import plan_batches
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import (
+    metrics,
+    observability_enabled,
+    thread_scope,
+    tracer,
+)
+from repro.obs.tracing import TraceCollector
+from repro.rpki.rtr.cache import RTRCache
+from repro.rpki.rtr.pdus import FLAG_ANNOUNCE, prefix_pdu
+from repro.rpki.vrp import VRP
+from repro.rtrd.session import SessionManager, SimulatedRouter
+
+DISPATCH_MODES: Tuple[str, ...] = ("auto", "serial", "thread")
+
+# The daemon's latency objective in an attached SLO tracker: one
+# event per publish, good when the fan-out met the deadline.
+PUSH_SLO = "rtrd.push"
+
+PUSH_LATENCY_METRIC = "ripki_rtrd_push_seconds"
+PUSH_BYTES_METRIC = "ripki_rtrd_push_bytes_total"
+PUBLISHES_METRIC = "ripki_rtrd_publishes_total"
+
+_METRIC_HELP = {
+    PUSH_LATENCY_METRIC:
+        "Wall time from publish to all-sessions-converged",
+    PUSH_BYTES_METRIC:
+        "Response bytes pushed to routers, by response kind",
+    PUBLISHES_METRIC:
+        "World publishes, by outcome (advanced vs no-op)",
+}
+
+
+def wire_table(vrps: Iterable[VRP]) -> bytes:
+    """Canonical wire encoding of a VRP table.
+
+    Sorted announce-flagged prefix PDUs — the byte string two tables
+    must share to count as bit-identical *on the wire* (the wire
+    carries no trust-anchor names, so tables that differ only there
+    compare equal, exactly as a router would see them).
+    """
+    return b"".join(
+        sorted(prefix_pdu(FLAG_ANNOUNCE, vrp).encode() for vrp in vrps)
+    )
+
+
+@dataclass(frozen=True)
+class RtrdConfig:
+    """Every dispatch knob of one daemon."""
+
+    workers: int = 1
+    mode: str = "auto"                # auto | serial | thread
+    batch_size: Optional[int] = None
+    session_id: int = 1
+    history_limit: int = 16
+    refresh_interval: int = 3600
+    # Serve/poll rounds a single pump may take before giving up; a
+    # healthy exchange converges in 2-3 (notify -> query -> diff).
+    max_rounds: int = 12
+
+    def __post_init__(self):
+        if self.mode not in DISPATCH_MODES:
+            raise ValueError(
+                f"mode must be one of {DISPATCH_MODES}, got {self.mode!r}"
+            )
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+
+    @property
+    def resolved_mode(self) -> str:
+        if self.mode == "auto":
+            return "thread" if self.workers > 1 else "serial"
+        return self.mode
+
+
+@dataclass
+class PublishStats:
+    """Accounting for one :meth:`RTRDaemon.publish` call."""
+
+    serial: int
+    announced: int = 0
+    withdrawn: int = 0
+    advanced: bool = False
+    notified: int = 0
+    rounds: int = 0
+    elapsed_s: float = 0.0
+    delta_bytes: int = 0            # diff-response bytes this publish
+    snapshot_bytes: int = 0         # snapshot-response bytes this publish
+    # Size of ONE full-snapshot response for the post-publish world —
+    # what every notified router would have paid without diffs.
+    snapshot_frame_bytes: int = 0
+    synchronized: int = 0
+
+    @property
+    def pushed_bytes(self) -> int:
+        return self.delta_bytes + self.snapshot_bytes
+
+    @property
+    def delta_saving_fraction(self) -> float:
+        """Fraction of the snapshot-equivalent bytes the diffs saved."""
+        equivalent = self.snapshot_frame_bytes * self.notified
+        if equivalent <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.pushed_bytes / equivalent)
+
+
+def summarize_publishes(
+    daemon: "RTRDaemon", elapsed_s: Optional[float] = None
+) -> Dict[str, object]:
+    """JSON-ready summary of a daemon's publish history.
+
+    The CLI's closing table, the benchmark's ``BENCH_rtr_serve.json``,
+    and the CI smoke checks all consume this one shape.  Push-latency
+    quantiles are bucket-estimated with the same estimator the live
+    SLO gauges use (:func:`repro.obs.window.estimate_quantiles`).
+    """
+    from repro.obs.window import estimate_quantiles
+
+    advanced = [s for s in daemon.publishes if s.advanced]
+    latencies = [s.elapsed_s for s in advanced]
+    p50, p99 = (
+        estimate_quantiles(latencies, (0.50, 0.99))
+        if latencies
+        else (0.0, 0.0)
+    )
+    delta_bytes = sum(s.delta_bytes for s in advanced)
+    snapshot_bytes = sum(s.snapshot_bytes for s in advanced)
+    notified = sum(s.notified for s in advanced)
+    equivalent = sum(s.snapshot_frame_bytes * s.notified for s in advanced)
+    pushed = delta_bytes + snapshot_bytes
+    manager = daemon.manager
+    summary: Dict[str, object] = {
+        "serial": daemon.serial,
+        "publishes": len(daemon.publishes),
+        "advanced": len(advanced),
+        "noop": len(daemon.publishes) - len(advanced),
+        "sessions": len(manager),
+        "synchronized": len(manager.synchronized()),
+        "quarantined": len(manager.quarantined()),
+        "total_connects": manager.total_connects,
+        "total_disconnects": manager.total_disconnects,
+        "push_p50_ms": round(p50 * 1000, 3),
+        "push_p99_ms": round(p99 * 1000, 3),
+        "notified": notified,
+        "delta_bytes": delta_bytes,
+        "snapshot_bytes": snapshot_bytes,
+        "snapshot_equivalent_bytes": equivalent,
+        # >1 means the delta stream is cheaper than re-snapshotting
+        # every notified router each publish.
+        "delta_saving_ratio": (
+            round(equivalent / pushed, 3) if pushed else 0.0
+        ),
+    }
+    if elapsed_s is not None:
+        summary["elapsed_s"] = round(elapsed_s, 3)
+    return summary
+
+
+class RTRDaemon:
+    """A long-running RTR cache server over simulated router sessions."""
+
+    def __init__(
+        self,
+        config: Optional[RtrdConfig] = None,
+        cache: Optional[RTRCache] = None,
+    ):
+        self.config = config or RtrdConfig()
+        self._cache = cache or RTRCache(
+            session_id=self.config.session_id,
+            history_limit=self.config.history_limit,
+            refresh_interval=self.config.refresh_interval,
+        )
+        self._manager = SessionManager(self._cache)
+        self._clock: Callable[[], float] = time.perf_counter
+        self._slo = None
+        self._health = None
+        self._push_deadline_s = 1.0
+        self.publishes: List[PublishStats] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    @property
+    def cache(self) -> RTRCache:
+        return self._cache
+
+    @property
+    def manager(self) -> SessionManager:
+        return self._manager
+
+    @property
+    def serial(self) -> int:
+        return self._cache.serial
+
+    def vrps(self) -> List[VRP]:
+        return self._cache.vrps()
+
+    def attach_telemetry(
+        self,
+        slo=None,
+        health=None,
+        clock: Optional[Callable[[], float]] = None,
+        push_deadline_s: float = 1.0,
+    ) -> "RTRDaemon":
+        """Wire publishes into the live telemetry plane.
+
+        ``slo`` (an :class:`~repro.obs.window.SLOTracker`) gets a
+        ``rtrd.push`` latency objective — each publish's fan-out wall
+        time is one event, good when it met ``push_deadline_s``.
+        ``health`` (an :class:`~repro.obs.http.HealthSource`) is
+        stamped after every publish, driving ``/health``'s freshness
+        and ``/ready``.  Returns ``self`` to chain.
+        """
+        self._slo = slo
+        self._health = health
+        if clock is not None:
+            self._clock = clock
+        self._push_deadline_s = push_deadline_s
+        if slo is not None:
+            slo.declare(
+                PUSH_SLO, threshold_s=push_deadline_s, target=0.95
+            )
+        return self
+
+    # -- router lifecycle --------------------------------------------------
+
+    def connect(self, name: Optional[str] = None) -> SimulatedRouter:
+        """Connect a router and pump its initial full sync."""
+        router = self._manager.connect(name)
+        self.pump([router])
+        return router
+
+    def connect_many(self, count: int) -> List[SimulatedRouter]:
+        """Connect ``count`` routers, then sync them all in one pump."""
+        routers = [self._manager.connect() for _ in range(count)]
+        self.pump(routers)
+        return routers
+
+    def disconnect(self, name: str) -> SimulatedRouter:
+        return self._manager.disconnect(name)
+
+    def routers(self) -> List[SimulatedRouter]:
+        return self._manager.routers()
+
+    # -- the push path -----------------------------------------------------
+
+    def publish(self, vrps: Iterable[VRP]) -> PublishStats:
+        """Install a new VRP world and push it to every router.
+
+        A no-change publish is a true no-op on the wire: the hardened
+        cache keeps its serial, so no session is notified and no
+        router round-trips an empty diff.
+        """
+        started = self._clock()
+        before_delta, before_snapshot = self._byte_totals()
+        serial_before = self._cache.serial
+        announced, withdrawn = self._cache.load(vrps)
+        stats = PublishStats(
+            serial=self._cache.serial,
+            announced=announced,
+            withdrawn=withdrawn,
+            advanced=self._cache.serial != serial_before,
+        )
+        if stats.advanced:
+            stats.snapshot_frame_bytes = len(self._cache.snapshot_frame())
+            stats.notified = sum(
+                1
+                for session in self._cache.sessions()
+                if session.synchronized
+                and self._cache.notify_session(session)
+            )
+            stats.rounds = self.pump()
+        after_delta, after_snapshot = self._byte_totals()
+        stats.delta_bytes = after_delta - before_delta
+        stats.snapshot_bytes = after_snapshot - before_snapshot
+        stats.synchronized = len(self._manager.synchronized())
+        stats.elapsed_s = self._clock() - started
+        self.publishes.append(stats)
+        self._record_publish(stats)
+        return stats
+
+    def synchronize(self) -> int:
+        """Notify every synchronized session and pump to quiescence.
+
+        The catch-up path for routers whose lag just cleared: their
+        queued notifies are finally read, stale serials turn into
+        multi-serial diffs (or a Cache Reset once history has moved
+        past them).  Returns the rounds used.
+        """
+        for session in self._cache.sessions():
+            if session.synchronized:
+                self._cache.notify_session(session)
+        return self.pump()
+
+    def pump(
+        self, routers: Optional[Sequence[SimulatedRouter]] = None
+    ) -> int:
+        """Serve/poll rounds until the byte pipes drain.
+
+        Lagging routers are served but never polled, and their unread
+        responses do not count against quiescence (an unread socket
+        is not undelivered work).
+        """
+        population = (
+            list(routers) if routers is not None else self._manager.routers()
+        )
+        rounds = 0
+        with tracer().span(
+            "rtrd.pump",
+            routers=len(population),
+            mode=self.config.resolved_mode,
+        ) as root:
+            while rounds < self.config.max_rounds:
+                if not self._pending(population):
+                    break
+                self._step_all(population, root)
+                rounds += 1
+        return rounds
+
+    @staticmethod
+    def _pending(population: Sequence[SimulatedRouter]) -> bool:
+        for router in population:
+            if router.pair.cache_side.pending():
+                return True
+            if not router.lagging and router.pair.router_side.pending():
+                return True
+        return False
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _step_all(
+        self, population: Sequence[SimulatedRouter], root
+    ) -> None:
+        batches = plan_batches(
+            population, self.config.batch_size, self.config.workers
+        )
+        if (
+            self.config.resolved_mode == "serial"
+            or self.config.workers <= 1
+            or len(batches) <= 1
+        ):
+            for batch in batches:
+                self._step_batch(batch.index, batch.items)
+            return
+        self._step_threaded(batches, root)
+
+    def _step_threaded(self, batches, root) -> None:
+        observe = observability_enabled()
+        registry = metrics()
+        trace = tracer()
+        outcomes: Dict[int, tuple] = {}
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="ripki-rtrd",
+        ) as pool:
+            futures = {
+                pool.submit(
+                    self._step_batch_scoped,
+                    batch.index,
+                    batch.items,
+                    observe,
+                ): batch.index
+                for batch in batches
+            }
+            for future in concurrent.futures.as_completed(futures):
+                outcomes[futures[future]] = future.result()
+        parent_id = root.span_id if root is not None else None
+        for index in sorted(outcomes):
+            batch_registry, batch_collector = outcomes[index]
+            if observe:
+                if batch_registry is not None and registry.enabled:
+                    registry.merge(batch_registry)
+                if batch_collector is not None:
+                    trace.absorb(
+                        batch_collector.spans(),
+                        parent_id=parent_id,
+                        dropped=batch_collector.dropped,
+                    )
+
+    def _step_batch_scoped(self, index: int, items, observe: bool):
+        registry = MetricsRegistry() if observe else None
+        collector = TraceCollector() if observe else None
+        with thread_scope(registry, collector):
+            self._step_batch(index, items)
+        return registry, collector
+
+    def _step_batch(self, index: int, items) -> None:
+        with tracer().span("rtrd.batch", batch=index, routers=len(items)):
+            for router in items:
+                self._manager.step_router(router)
+
+    # -- accounting --------------------------------------------------------
+
+    def _byte_totals(self) -> Tuple[int, int]:
+        delta = snapshot = 0
+        for session in self._cache.sessions():
+            delta += session.diff_bytes_sent
+            snapshot += session.snapshot_bytes_sent
+        return delta, snapshot
+
+    def _record_publish(self, stats: PublishStats) -> None:
+        counters = metrics()
+        if counters.enabled:
+            counters.counter(
+                PUBLISHES_METRIC,
+                _METRIC_HELP[PUBLISHES_METRIC],
+                labelnames=("outcome",),
+            ).labels(
+                outcome="advanced" if stats.advanced else "noop"
+            ).inc()
+            if stats.advanced:
+                counters.histogram(
+                    PUSH_LATENCY_METRIC, _METRIC_HELP[PUSH_LATENCY_METRIC]
+                ).observe(stats.elapsed_s)
+                bytes_counter = counters.counter(
+                    PUSH_BYTES_METRIC,
+                    _METRIC_HELP[PUSH_BYTES_METRIC],
+                    labelnames=("kind",),
+                )
+                bytes_counter.labels(kind="diff").inc(stats.delta_bytes)
+                bytes_counter.labels(kind="snapshot").inc(
+                    stats.snapshot_bytes
+                )
+        if stats.advanced:
+            if self._slo is not None:
+                self._slo.observe(
+                    PUSH_SLO,
+                    stats.elapsed_s,
+                    ok=stats.elapsed_s <= self._push_deadline_s,
+                )
+            if self._health is not None:
+                self._health.mark_refresh()
+                self._health.set_detail(
+                    serial=stats.serial,
+                    sessions=len(self._manager),
+                )
+
+    # -- verification ------------------------------------------------------
+
+    @property
+    def converged(self) -> bool:
+        """Every alive, non-lagging router holds the current serial."""
+        return all(
+            router.client.serial == self._cache.serial
+            for router in self._manager.routers()
+            if router.alive and not router.lagging
+        )
+
+    def diverged_routers(self) -> List[SimulatedRouter]:
+        """Alive, non-lagging routers whose table differs on the wire."""
+        truth = wire_table(self._cache.vrps())
+        return [
+            router
+            for router in self._manager.routers()
+            if router.alive
+            and not router.lagging
+            and wire_table(router.client.vrps()) != truth
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"<RTRDaemon serial={self._cache.serial} "
+            f"{len(self._manager)} routers "
+            f"{len(self._cache.vrps())} VRPs>"
+        )

@@ -255,8 +255,9 @@ class TestSessionResilience:
             assert all(isinstance(p.encode(), bytes) for p in decoded)
         # Same connection: serving must keep not-raising, though the
         # framing may stay legitimately wedged (an incomplete garbage
-        # header can declare a giant frame the peer never finishes —
-        # exactly a desynced TCP stream, cured only by reconnecting).
+        # header can declare a plausible frame the peer never
+        # finishes — exactly a desynced TCP stream, cured only by
+        # reconnecting; implausible lengths are rejected outright).
         for _attempt in range(2):
             pair.router_side.send(ResetQueryPDU().encode())
             cache.serve(pair.cache_side)
@@ -285,3 +286,82 @@ class TestSessionResilience:
             client.poll()
         final = synchronise(cache)
         assert len(final.vrps()) == 2
+
+
+# -- interleaved multi-session fuzz (the long-lived daemon) -------------------
+
+
+class TestInterleavedDaemonSessions:
+    """Hostile churn against the daemon: many sessions, one cache.
+
+    Hypothesis drives the churn profile — population size, garbage
+    and lag intensity, world mutation rate — and the invariant stays
+    absolute: the run converges and every surviving router's table is
+    bit-identical on the wire to the cache snapshot.  One router's
+    garbage must never perturb its neighbours' sessions.
+    """
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        sessions=st.integers(min_value=2, max_value=10),
+        rounds=st.integers(min_value=1, max_value=5),
+        garbage=st.sampled_from([0.0, 0.2, 0.5]),
+        lag=st.sampled_from([0.0, 0.25, 0.5]),
+        disconnect=st.sampled_from([0.0, 0.2]),
+    )
+    def test_churned_daemon_always_converges(
+        self, seed, sessions, rounds, garbage, lag, disconnect
+    ):
+        from repro.rtrd import (
+            ChurnProfile,
+            RTRDaemon,
+            RtrdConfig,
+            SyntheticVRPWorld,
+            run_churn,
+            wire_table,
+        )
+
+        world = SyntheticVRPWorld(30, seed=seed)
+        daemon = RTRDaemon(RtrdConfig())
+        daemon.publish(world.vrps())
+        daemon.connect_many(sessions)
+        profile = ChurnProfile(
+            rounds=rounds,
+            target_sessions=sessions,
+            disconnect=disconnect,
+            lag=lag,
+            garbage=garbage,
+            world_changes=6,
+            seed=seed,
+        )
+        summary = run_churn(daemon, world, profile)
+        assert summary.converged, summary
+        assert summary.diverged == 0
+        truth = wire_table(daemon.vrps())
+        for router in daemon.manager.routers():
+            assert router.alive
+            assert wire_table(router.client.vrps()) == truth
+
+    @settings(max_examples=20, deadline=None)
+    @given(garbage=st.binary(min_size=1, max_size=64))
+    def test_one_hostile_session_never_perturbs_neighbours(self, garbage):
+        from repro.rtrd import RTRDaemon, wire_table
+        from repro.rpki.vrp import VRP
+
+        daemon = RTRDaemon()
+        daemon.publish(
+            [
+                VRP(Prefix.parse("10.0.0.0/16"), 24, ASN(64500), "fuzz"),
+                VRP(Prefix.parse("2001:db8::/32"), 48, ASN(64501), "fuzz"),
+            ]
+        )
+        victim_a, hostile, victim_b = daemon.connect_many(3)
+        hostile.pair.router_side.send(garbage)
+        daemon.publish(
+            [VRP(Prefix.parse("10.0.0.0/16"), 24, ASN(64500), "fuzz")]
+        )
+        truth = wire_table(daemon.vrps())
+        for router in (victim_a, victim_b):
+            assert router.synchronized
+            assert wire_table(router.client.vrps()) == truth

@@ -154,12 +154,24 @@ class TestErrors:
 
     def test_incomplete_garbage_is_buffered_not_fatal(self, session):
         pair, cache, client = session
-        # Header claims a huge length: the cache keeps buffering and
-        # stays silent rather than erroring on an incomplete frame.
-        pair.router_side.send(b"\x01\x02garb\xff\xff\xff\xff")
+        # Header claims a plausible-but-unfinished length: the cache
+        # keeps buffering and stays silent rather than erroring on an
+        # incomplete frame.
+        pair.router_side.send(b"\x01\x02\x00\x07\x00\x00\x01\x00")
         cache.serve(pair.cache_side)
         client.poll()
         assert client.state is ClientState.DISCONNECTED
+
+    def test_implausible_length_is_fatal_not_a_blackhole(self, session):
+        pair, cache, client = session
+        # A corrupt length field can claim gigabytes; waiting for that
+        # frame to complete would silently black-hole the session, so
+        # anything beyond MAX_PDU_SIZE is corrupt data on arrival.
+        pair.router_side.send(b"\x01\x02garb\xff\xff\xff\xff")
+        cache.serve(pair.cache_side)
+        client.poll()
+        assert client.state is ClientState.ERROR
+        assert client.last_error is not None
 
     def test_withdraw_unknown_record_is_error(self, session):
         pair, cache, client = session

@@ -1,0 +1,262 @@
+"""Unit tests for the long-lived RTR daemon (repro.rtrd)."""
+
+import pytest
+
+from repro import obs
+from repro.net import ASN, Prefix
+from repro.obs.window import SLOTracker
+from repro.rpki.rtr.cache import SessionState
+from repro.rpki.rtr.client import ClientState
+from repro.rpki.vrp import VRP
+from repro.rtrd import (
+    PUSH_SLO,
+    RTRDaemon,
+    RtrdConfig,
+    SyntheticVRPWorld,
+    summarize_publishes,
+    wire_table,
+)
+
+
+def vrp(prefix, max_length, asn):
+    return VRP(Prefix.parse(prefix), max_length, ASN(asn), "test-ta")
+
+
+def world_slice(n, start=0):
+    """``n`` consecutive VRPs from ``start``; overlapping slices share
+    identical VRPs, so shifting ``start`` by 1 churns exactly 2."""
+    return [
+        vrp(f"10.{start + i}.0.0/16", 24, 64500 + start + i)
+        for i in range(n)
+    ]
+
+
+class TestConfig:
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            RtrdConfig(mode="fork")
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            RtrdConfig(workers=0)
+
+    def test_auto_mode_resolution(self):
+        assert RtrdConfig(workers=1).resolved_mode == "serial"
+        assert RtrdConfig(workers=4).resolved_mode == "thread"
+        assert RtrdConfig(workers=4, mode="serial").resolved_mode == "serial"
+
+
+class TestPublish:
+    def test_initial_connect_full_sync(self):
+        daemon = RTRDaemon()
+        daemon.publish(world_slice(5))
+        routers = daemon.connect_many(3)
+        assert all(r.synchronized for r in routers)
+        assert all(r.client.serial == daemon.serial for r in routers)
+        truth = wire_table(daemon.vrps())
+        assert all(wire_table(r.client.vrps()) == truth for r in routers)
+
+    def test_publish_fans_out_to_synchronized_sessions(self):
+        daemon = RTRDaemon()
+        daemon.publish(world_slice(5))
+        daemon.connect_many(4)
+        stats = daemon.publish(world_slice(5, start=2))
+        assert stats.advanced
+        assert stats.notified == 4
+        assert stats.synchronized == 4
+        assert daemon.converged
+
+    def test_noop_publish_is_silent(self):
+        daemon = RTRDaemon()
+        daemon.publish(world_slice(5))
+        daemon.connect_many(2)
+        stats = daemon.publish(world_slice(5))
+        assert not stats.advanced
+        assert stats.notified == 0
+        assert stats.rounds == 0
+        assert stats.pushed_bytes == 0
+        assert all(
+            r.pending_bytes() == 0 for r in daemon.manager.routers()
+        )
+
+    def test_deltas_are_smaller_than_snapshots(self):
+        daemon = RTRDaemon()
+        daemon.publish(world_slice(200))
+        daemon.connect_many(4)
+        stats = daemon.publish(world_slice(200, start=1))  # 1 in, 1 out
+        assert stats.delta_bytes > 0
+        assert stats.snapshot_bytes == 0  # everyone synced via diffs
+        per_router = stats.delta_bytes / stats.notified
+        assert per_router < stats.snapshot_frame_bytes
+        assert stats.delta_saving_fraction > 0.9
+
+    def test_stats_are_recorded(self):
+        daemon = RTRDaemon()
+        daemon.publish(world_slice(3))
+        daemon.publish(world_slice(3))      # no-op
+        daemon.publish(world_slice(4))
+        assert [s.advanced for s in daemon.publishes] == [True, False, True]
+
+
+class TestLagAndHistory:
+    def test_lagging_router_catches_up_with_multi_serial_diff(self):
+        daemon = RTRDaemon()
+        daemon.publish(world_slice(10))
+        router = daemon.connect()
+        router.lag = 10
+        for step in range(3):
+            daemon.publish(world_slice(10, start=step + 1))
+        assert router.client.serial == 1  # heard nothing yet
+        router.lag = 0
+        daemon.synchronize()
+        assert router.client.serial == daemon.serial
+        assert wire_table(router.client.vrps()) == wire_table(daemon.vrps())
+        # One diff covered serials 2..4; no snapshot was re-sent.
+        assert router.session.snapshots_sent == 1  # the initial sync only
+
+    def test_router_behind_history_gets_cache_reset(self):
+        daemon = RTRDaemon(RtrdConfig(history_limit=2))
+        daemon.publish(world_slice(10))
+        router = daemon.connect()
+        router.lag = 99
+        for step in range(5):  # serial advances far beyond history
+            daemon.publish(world_slice(10, start=step + 1))
+        router.lag = 0
+        daemon.synchronize()
+        assert router.client.serial == daemon.serial
+        assert router.session.resets_sent >= 1
+        assert wire_table(router.client.vrps()) == wire_table(daemon.vrps())
+
+    def test_disconnect_stops_service(self):
+        daemon = RTRDaemon()
+        daemon.publish(world_slice(3))
+        router = daemon.connect()
+        daemon.disconnect(router.name)
+        assert router.session.state is SessionState.CLOSED
+        assert len(daemon.manager) == 0
+        stats = daemon.publish(world_slice(4))
+        assert stats.notified == 0
+
+
+class TestDispatchEquivalence:
+    def test_serial_and_threaded_pumps_agree(self):
+        def run(config):
+            daemon = RTRDaemon(config)
+            daemon.publish(world_slice(50))
+            daemon.connect_many(12)
+            for step in range(4):
+                daemon.publish(world_slice(50, start=step + 1))
+            tables = sorted(
+                (r.name, wire_table(r.client.vrps()))
+                for r in daemon.manager.routers()
+            )
+            return daemon.serial, wire_table(daemon.vrps()), tables
+
+        serial_run = run(RtrdConfig(workers=1))
+        threaded_run = run(RtrdConfig(workers=4, batch_size=3))
+        assert serial_run == threaded_run
+
+    def test_threaded_counters_merge(self):
+        with obs.scope() as (registry, _tracer):
+            daemon = RTRDaemon(RtrdConfig(workers=4, batch_size=2))
+            daemon.publish(world_slice(10))
+            daemon.connect_many(8)
+            daemon.publish(world_slice(10, start=1))
+            queries = registry.get("ripki_rtr_cache_queries_total")
+            assert queries is not None
+            assert queries.labels(type="SerialQueryPDU").value == 8
+            diffs = registry.get("ripki_rtr_cache_diffs_sent_total")
+            assert diffs is not None and diffs.value == 8
+
+
+class TestTelemetry:
+    def test_publish_metrics(self):
+        with obs.scope() as (registry, _tracer):
+            daemon = RTRDaemon()
+            daemon.publish(world_slice(5))
+            daemon.connect_many(2)
+            daemon.publish(world_slice(5, start=1))
+            daemon.publish(world_slice(5, start=1))  # no-op
+            outcomes = registry.get("ripki_rtrd_publishes_total")
+            assert outcomes.labels(outcome="advanced").value == 2
+            assert outcomes.labels(outcome="noop").value == 1
+            pushed = registry.get("ripki_rtrd_push_bytes_total")
+            assert pushed.labels(kind="diff").value > 0
+
+    def test_slo_and_health_attach(self):
+        from repro.obs.http import HealthSource
+
+        clock = [0.0]
+        slo = SLOTracker(clock=lambda: clock[0])
+        health = HealthSource(clock=lambda: clock[0])
+        daemon = RTRDaemon().attach_telemetry(
+            slo=slo, health=health, clock=lambda: clock[0],
+            push_deadline_s=0.5,
+        )
+        assert PUSH_SLO in slo.names()
+        daemon.publish(world_slice(3))
+        assert health.ready
+        status = slo.status(PUSH_SLO)
+        assert status.total == 1 and status.good == 1
+
+    def test_summary_shape(self):
+        daemon = RTRDaemon()
+        daemon.publish(world_slice(20))
+        daemon.connect_many(3)
+        daemon.publish(world_slice(20, start=1))
+        daemon.publish(world_slice(20, start=1))  # no-op
+        summary = summarize_publishes(daemon, elapsed_s=1.25)
+        assert summary["publishes"] == 3
+        assert summary["advanced"] == 2
+        assert summary["noop"] == 1
+        assert summary["sessions"] == 3
+        assert summary["synchronized"] == 3
+        assert summary["delta_saving_ratio"] > 1.0
+        assert summary["elapsed_s"] == 1.25
+
+    def test_rtrd_report_renders(self):
+        daemon = RTRDaemon()
+        daemon.publish(world_slice(10))
+        daemon.connect_many(2)
+        daemon.publish(world_slice(10, start=1))
+        text = obs.rtrd_report(summarize_publishes(daemon))
+        assert "synchronized" in text
+        assert "delta saving ratio" in text
+
+
+class TestContinuousIntegration:
+    def test_attach_rtr_publishes_each_campaign(self):
+        from repro.core.continuous import ContinuousStudy
+        from repro.core.pipeline import MeasurementStudy
+        from repro.web import EcosystemConfig, WebEcosystem
+
+        world = WebEcosystem.build(
+            EcosystemConfig(domain_count=40, seed=11)
+        )
+        study = MeasurementStudy.from_ecosystem(world)
+        daemon = RTRDaemon()
+        continuous = ContinuousStudy(study).attach_rtr(daemon)
+        continuous.baseline()
+        assert daemon.serial == 1
+        routers = daemon.connect_many(3)
+        continuous.refresh()  # same world: a wire no-op
+        assert daemon.serial == 1
+        truth = wire_table(daemon.vrps())
+        assert all(
+            wire_table(r.client.vrps()) == truth for r in routers
+        )
+
+
+class TestSyntheticWorld:
+    def test_world_is_deterministic(self):
+        a = SyntheticVRPWorld(50, seed="w")
+        b = SyntheticVRPWorld(50, seed="w")
+        a.advance(10)
+        b.advance(10)
+        assert wire_table(a.vrps()) == wire_table(b.vrps())
+
+    def test_advance_announces_and_withdraws(self):
+        world = SyntheticVRPWorld(40, seed="w")
+        announced, withdrawn = world.advance(10)
+        assert announced == 5 and withdrawn == 5
+        assert len(world) == 40
