@@ -20,15 +20,15 @@ import os
 import time
 from pathlib import Path
 
-from repro.core import MeasurementStudy
+from repro.core import MeasurementStudy, RunConfig
 from repro.web import EcosystemConfig, WebEcosystem
 
 DEFAULT_OUT = Path(__file__).parent / "BENCH_parallel.json"
 
 
-def measure(study: MeasurementStudy, **run_kwargs):
+def measure(study: MeasurementStudy, config: RunConfig = None):
     started = time.perf_counter()
-    result = study.run(**run_kwargs)
+    result = study.run(config=config)
     return result, time.perf_counter() - started
 
 
@@ -72,9 +72,8 @@ def main() -> int:
     print(f"parallel run: {args.workers} workers, {args.mode} pool ...")
     parallel_result, parallel_seconds = measure(
         study,
-        workers=args.workers,
-        mode=args.mode,
-        shard_size=args.shard_size,
+        RunConfig(workers=args.workers, mode=args.mode,
+                  shard_size=args.shard_size),
     )
     print(f"  {parallel_seconds:.2f}s")
 

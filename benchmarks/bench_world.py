@@ -1,0 +1,101 @@
+"""World-engine stepping benchmark.
+
+Builds one ecosystem-backed world engine, steps it ``--steps`` times
+under ``--profile``, verifies the run replays bit-identically from a
+second engine, and records stepping throughput plus per-step VRP
+delta sizes in ``BENCH_world.json`` so future perf PRs have a
+baseline::
+
+    PYTHONPATH=src python benchmarks/bench_world.py --domains 2000 --steps 50
+
+The engine-only loop is what's gated: each step re-signs manifests
+and CRLs, applies the scenario's churn, and takes a full strict
+relying-party observation, so ``steps_per_second`` tracks the cost of
+the whole CA-side + validation cycle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.web import EcosystemConfig, WebEcosystem
+from repro.world import WorldConfig, WorldEngine
+
+DEFAULT_OUT = Path(__file__).parent / "BENCH_world.json"
+
+
+def build_engine(args) -> WorldEngine:
+    world = WebEcosystem.build(
+        EcosystemConfig(domain_count=args.domains, seed=args.seed)
+    )
+    return WorldEngine.from_ecosystem(
+        world, WorldConfig(profile=args.profile, seed=args.seed)
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--domains", type=int, default=2_000)
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--profile", default="sloppy-ca")
+    parser.add_argument("--steps", type=int, default=50)
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args()
+
+    print(f"building world: {args.domains} domains, seed {args.seed} ...")
+    build_started = time.perf_counter()
+    engine = build_engine(args)
+    build_seconds = time.perf_counter() - build_started
+    print(
+        f"  built in {build_seconds:.2f}s: "
+        f"{len(engine.authorities())} CAs, {len(engine.payloads)} VRPs"
+    )
+
+    print(f"stepping {args.steps}x under {args.profile!r} ...")
+    step_started = time.perf_counter()
+    engine.run(args.steps)
+    step_seconds = time.perf_counter() - step_started
+    steps_per_second = args.steps / step_seconds if step_seconds else 0.0
+    summary = engine.summary()
+    print(
+        f"  {step_seconds:.2f}s ({steps_per_second:.1f} steps/s), "
+        f"{sum(summary.events_by_kind.values())} events, "
+        f"{summary.final_vrps} final VRPs"
+    )
+
+    print("replaying from a fresh engine ...")
+    replay = build_engine(args)
+    replay.run(args.steps)
+    identical = replay.ledger.digest() == summary.ledger_digest
+
+    deltas = summary.delta_sizes
+    record = {
+        "domains": args.domains,
+        "seed": args.seed,
+        "profile": args.profile,
+        "steps": args.steps,
+        "authorities": summary.authorities,
+        "build_seconds": round(build_seconds, 3),
+        "step_seconds": round(step_seconds, 3),
+        "steps_per_second": round(steps_per_second, 3),
+        "final_vrps": summary.final_vrps,
+        "events_total": sum(summary.events_by_kind.values()),
+        "delta_mean": round(sum(deltas) / len(deltas), 3) if deltas else 0.0,
+        "delta_max": max(deltas) if deltas else 0,
+        "stale_point_observations": summary.stale_point_observations,
+        "ledger_digest": summary.ledger_digest,
+        "replay_identical": identical,
+    }
+    Path(args.out).write_text(json.dumps(record, indent=1) + "\n")
+    print(
+        f"wrote {args.out}: {steps_per_second:.1f} steps/s "
+        f"({'identical' if identical else 'MISMATCH'} replay)"
+    )
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

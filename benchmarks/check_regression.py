@@ -126,6 +126,14 @@ BENCHES = (
         ),
     ),
     BenchSpec(
+        "BENCH_world.json",
+        (
+            MetricSpec("build_seconds", "time", TIME_TOLERANCE),
+            MetricSpec("step_seconds", "time", TIME_TOLERANCE),
+            MetricSpec("steps_per_second", "ratio", RATIO_TOLERANCE),
+        ),
+    ),
+    BenchSpec(
         "BENCH_obs.json",
         (
             # The whole golden suite's wall time, gated generously:

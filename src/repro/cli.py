@@ -17,7 +17,9 @@ from repro.core import (
     CacheConfig,
     ContinuousStudy,
     MeasurementStudy,
+    RtrSink,
     RunConfig,
+    TelemetrySink,
     cdn_as_report,
     figure1_www_overlap,
     figure2_rpki_outcome,
@@ -29,6 +31,75 @@ from repro.core import (
 from repro.core.reports import render_table1
 from repro.faults import PROFILES, FaultPlan, RetryPolicy
 from repro.web import EcosystemConfig, HTTPArchiveClassifier, WebEcosystem
+from repro.world import WORLD_PROFILES
+
+
+def _telemetry_parent() -> argparse.ArgumentParser:
+    """Shared ``--telemetry-*`` flag group (argparse parent)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("telemetry")
+    group.add_argument("--telemetry-port", type=int, default=None,
+                       metavar="PORT",
+                       help="expose /metrics, /health, /ready, and "
+                            "/snapshot over HTTP on PORT while the "
+                            "command runs (0 = ephemeral port)")
+    group.add_argument("--telemetry-host", default="127.0.0.1",
+                       metavar="HOST",
+                       help="bind address for --telemetry-port")
+    group.add_argument("--telemetry-linger", type=float, default=0.0,
+                       metavar="SEC",
+                       help="keep the telemetry endpoints up SEC "
+                            "seconds after the work finishes (lets an "
+                            "external scraper read the final state)")
+    return parent
+
+
+def _exec_parent() -> argparse.ArgumentParser:
+    """Shared sharded-executor flag group (argparse parent)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution")
+    group.add_argument("--workers", type=int, default=1,
+                       help="worker count for the sharded executor "
+                            "(1 = classic serial loop)")
+    group.add_argument("--exec-mode",
+                       choices=["auto", "serial", "thread", "process"],
+                       default="auto",
+                       help="sharded-executor backend (auto: process "
+                            "pool when --workers > 1)")
+    group.add_argument("--shard-size", type=int, default=None,
+                       help="domains per shard (default: scaled to "
+                            "workers)")
+    return parent
+
+
+def _fault_parent() -> argparse.ArgumentParser:
+    """Shared fault-injection flag group (argparse parent)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("fault injection")
+    group.add_argument("--fault-profile", choices=sorted(PROFILES),
+                       default=None,
+                       help="inject deterministic substrate faults "
+                            "(seeded from --seed; degraded domains are "
+                            "reported, not fatal)")
+    group.add_argument("--retries", type=int, default=3,
+                       help="attempts per funnel stage before a domain "
+                            "degrades (fault runs only)")
+    group.add_argument("--retry-backoff", type=float, default=0.05,
+                       help="base backoff seconds between attempts "
+                            "(accounted deterministically, never slept)")
+    return parent
+
+
+def _dispatch_parent() -> argparse.ArgumentParser:
+    """Shared service-dispatch flag group (argparse parent)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("dispatch")
+    group.add_argument("--workers", type=int, default=1,
+                       help="dispatch thread count (1 = serial)")
+    group.add_argument("--batch-size", type=int, default=None,
+                       help="items per dispatch batch "
+                            "(default: scaled to workers)")
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,8 +107,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="ripki",
         description="Reproduce the RiPKI (HotNets 2015) measurement study.",
     )
+    telemetry = _telemetry_parent()
+    executor = _exec_parent()
+    faults = _fault_parent()
+    dispatch = _dispatch_parent()
     sub = parser.add_subparsers(dest="command", required=True)
-    run = sub.add_parser("run", help="build a world and run the full study")
+    run = sub.add_parser("run", parents=[executor, faults, telemetry],
+                         help="build a world and run the full study")
     run.add_argument("--domains", type=int, default=20_000,
                      help="population size (the paper used 1M)")
     run.add_argument("--seed", type=int, default=2015)
@@ -46,25 +122,6 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--figure", choices=["1", "2", "3", "4", "table1", "cdn-as"],
                      action="append", default=None,
                      help="restrict output (repeatable)")
-    run.add_argument("--workers", type=int, default=1,
-                     help="worker count for the sharded executor "
-                          "(1 = classic serial loop)")
-    run.add_argument("--exec-mode", choices=["auto", "serial", "thread", "process"],
-                     default="auto",
-                     help="sharded-executor backend (auto: process pool "
-                          "when --workers > 1)")
-    run.add_argument("--shard-size", type=int, default=None,
-                     help="domains per shard (default: scaled to workers)")
-    run.add_argument("--fault-profile", choices=sorted(PROFILES), default=None,
-                     help="inject deterministic substrate faults "
-                          "(seeded from --seed; degraded domains are "
-                          "reported, not fatal)")
-    run.add_argument("--retries", type=int, default=3,
-                     help="attempts per funnel stage before a domain "
-                          "degrades (fault runs only)")
-    run.add_argument("--retry-backoff", type=float, default=0.05,
-                     help="base backoff seconds between attempts "
-                          "(accounted deterministically, never slept)")
     run.add_argument("--progress", action="store_true",
                      help="render a rate/ETA progress line on stderr")
     run.add_argument("--metrics-out", metavar="FILE", default=None,
@@ -75,10 +132,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persist per-stage artifacts under DIR; a "
                           "re-run with unchanged inputs recomputes "
                           "nothing and returns a bit-identical result")
-    _add_telemetry_args(run)
 
     refresh = sub.add_parser(
         "refresh",
+        parents=[telemetry],
         help="continuous-measurement campaigns over a churning world: "
              "a full baseline, then incremental refreshes that "
              "re-measure only what changed",
@@ -96,7 +153,6 @@ def build_parser() -> argparse.ArgumentParser:
                               "www/apex equality heuristic")
     refresh.add_argument("--metrics-out", metavar="FILE", default=None,
                          help="write Prometheus text metrics to FILE")
-    _add_telemetry_args(refresh)
 
     export = sub.add_parser(
         "export",
@@ -121,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
+        parents=[dispatch, telemetry],
         help="run a completed study as a query service: build (or load "
              "from a snapshot cache) an immutable serving index, answer "
              "a query script or a generated load, print a "
@@ -142,15 +199,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="load-generator seed (default: --seed)")
     serve.add_argument("--zipf", type=float, default=1.1,
                        help="Zipf popularity exponent of the generated load")
-    serve.add_argument("--workers", type=int, default=1,
-                       help="dispatch thread count (1 = serial)")
     serve.add_argument("--serve-mode", choices=["auto", "serial", "thread"],
                        default="auto",
                        help="dispatch backend (auto: thread pool when "
                             "--workers > 1)")
-    serve.add_argument("--batch-size", type=int, default=None,
-                       help="queries per dispatch batch "
-                            "(default: scaled to workers)")
     serve.add_argument("--io-wait", type=float, default=0.0, metavar="SEC",
                        help="simulated per-query IO wait (models a live "
                             "deployment's network hop; lets threads "
@@ -163,10 +215,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the run summary as JSON to FILE")
     serve.add_argument("--metrics-out", metavar="FILE", default=None,
                        help="write Prometheus text metrics to FILE")
-    _add_telemetry_args(serve)
 
     rtrd = sub.add_parser(
         "rtrd",
+        parents=[dispatch, telemetry],
         help="run the long-lived RTR cache daemon: a churning router "
              "population synchronises against a mutating VRP world "
              "over streaming serial deltas; print a session/push "
@@ -192,37 +244,47 @@ def build_parser() -> argparse.ArgumentParser:
     rtrd.add_argument("--history", type=int, default=16,
                       help="serial diffs kept for incremental sync "
                            "(older routers get a Cache Reset)")
-    rtrd.add_argument("--workers", type=int, default=1,
-                      help="dispatch thread count (1 = serial)")
     rtrd.add_argument("--rtrd-mode", choices=["auto", "serial", "thread"],
                       default="auto",
                       help="dispatch backend (auto: thread pool when "
                            "--workers > 1)")
-    rtrd.add_argument("--batch-size", type=int, default=None,
-                      help="routers per dispatch batch "
-                           "(default: scaled to workers)")
     rtrd.add_argument("--json", metavar="FILE", default=None,
                       help="write the run summary as JSON to FILE")
     rtrd.add_argument("--metrics-out", metavar="FILE", default=None,
                       help="write Prometheus text metrics to FILE")
-    _add_telemetry_args(rtrd)
+
+    world = sub.add_parser(
+        "world",
+        parents=[executor, faults, telemetry],
+        help="step a seeded CA/publication world (ROA churn, missed "
+             "re-signs, outages, key rollovers) and drive refresh "
+             "campaigns plus an RTR daemon from each step's validated "
+             "VRPs",
+    )
+    world.add_argument("--domains", type=int, default=2_000,
+                       help="ecosystem size backing the measurement side")
+    world.add_argument("--seed", type=int, default=2015,
+                       help="seed for the ecosystem AND the world's "
+                            "fault schedule (same seed, same ledger)")
+    world.add_argument("--profile", choices=sorted(WORLD_PROFILES),
+                       default="sloppy-ca",
+                       help="CA behaviour profile driving the per-step "
+                            "event schedule")
+    world.add_argument("--steps", type=int, default=20,
+                       help="world steps (one refresh campaign each)")
+    world.add_argument("--grace", type=float, default=2.0,
+                       help="relying-party grace window (virtual time "
+                            "units) before a stale point's VRPs drop")
+    world.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="snapshot-cache directory (default: a "
+                            "temporary directory, so refreshes always "
+                            "run through selective invalidation)")
+    world.add_argument("--json", metavar="FILE", default=None,
+                       help="write the run summary and the full event "
+                            "ledger as JSON to FILE")
+    world.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write Prometheus text metrics to FILE")
     return parser
-
-
-def _add_telemetry_args(sub: argparse.ArgumentParser) -> None:
-    sub.add_argument("--telemetry-port", type=int, default=None,
-                     metavar="PORT",
-                     help="expose /metrics, /health, /ready, and "
-                          "/snapshot over HTTP on PORT while the "
-                          "command runs (0 = ephemeral port)")
-    sub.add_argument("--telemetry-host", default="127.0.0.1",
-                     metavar="HOST",
-                     help="bind address for --telemetry-port")
-    sub.add_argument("--telemetry-linger", type=float, default=0.0,
-                     metavar="SEC",
-                     help="keep the telemetry endpoints up SEC "
-                          "seconds after the work finishes (lets an "
-                          "external scraper read the final state)")
 
 
 def _start_telemetry(args):
@@ -447,10 +509,10 @@ def run_refresh(args: argparse.Namespace) -> int:
         continuous = ContinuousStudy(study, config)
         if observe:
             slo = obs.SLOTracker()
-            continuous.attach_telemetry(
+            continuous.attach(TelemetrySink(
                 slo=slo,
                 health=telemetry.health if telemetry else None,
-            )
+            ))
         started = time.time()
         baseline = continuous.baseline()
         print(
@@ -776,6 +838,130 @@ def run_rtrd(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_world(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from repro import obs
+    from repro.rtrd import RTRDaemon
+    from repro.world import WorldConfig, WorldEngine, WorldSink
+
+    telemetry_on = args.telemetry_port is not None
+    observe = bool(args.metrics_out or telemetry_on)
+    registry = None
+    telemetry = None
+    slo = None
+    if observe:
+        registry, _collector = obs.enable()
+    try:
+        if telemetry_on:
+            telemetry = _start_telemetry(args)
+        print(f"building world: {args.domains} domains, seed {args.seed} ...")
+        world = WebEcosystem.build(
+            EcosystemConfig(domain_count=args.domains, seed=args.seed)
+        )
+        engine = WorldEngine.from_ecosystem(
+            world,
+            WorldConfig(
+                profile=args.profile, seed=args.seed, grace=args.grace
+            ),
+        )
+        print(
+            f"  {len(engine.authorities())} certificate authorities, "
+            f"{len(engine.payloads)} VRPs at step 0 "
+            f"({args.profile!r} profile)"
+        )
+        study = MeasurementStudy.from_ecosystem(world)
+        faults = None
+        if args.fault_profile:
+            faults = FaultPlan.from_profile(args.fault_profile, seed=args.seed)
+        cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="ripki-world-")
+        config = RunConfig(
+            workers=args.workers,
+            mode=args.exec_mode,
+            shard_size=args.shard_size,
+            retry=RetryPolicy(
+                max_attempts=args.retries, backoff_base=args.retry_backoff
+            ),
+            faults=faults,
+            cache=CacheConfig(cache_dir),
+        )
+        continuous = ContinuousStudy(study, config)
+        daemon = RTRDaemon()
+        world_sink = WorldSink(engine)
+        rtr_sink = RtrSink(daemon)
+        sinks = [world_sink, rtr_sink]
+        if observe:
+            slo = obs.SLOTracker()
+            sinks.append(TelemetrySink(
+                slo=slo,
+                health=telemetry.health if telemetry else None,
+            ))
+        continuous.attach(*sinks)
+        started = time.time()
+        baseline = continuous.baseline()
+        print(
+            f"  baseline: {len(baseline)} domains, "
+            f"{rtr_sink.publishes[-1].announced} VRPs announced to RTR "
+            f"in {time.time() - started:.1f}s"
+        )
+        invalidated_total = 0
+        deltas_total = 0
+        for index in range(1, args.steps + 1):
+            result, stats = continuous.refresh()
+            step = world_sink.steps[-1]
+            s = result.statistics
+            invalidated = sum(s.cache_invalidated_by_stage.values())
+            invalidated_total += invalidated
+            publish = rtr_sink.publishes[-1]
+            deltas_total += publish.announced + publish.withdrawn
+            events = ", ".join(
+                f"{event.kind}({event.subject})"
+                for event in step.events
+                if event.subject != "world"
+            ) or "quiet"
+            print(
+                f"  step {index}: {step.observation.total_vrps} VRPs "
+                f"({step.vrps_added:+d}/-{step.vrps_removed}), "
+                f"{step.observation.stale_points} stale / "
+                f"{step.observation.dropped_points} dropped points, "
+                f"{invalidated} artifacts invalidated, "
+                f"rtr serial {publish.serial} "
+                f"(+{publish.announced}/-{publish.withdrawn})"
+            )
+            print(f"    events: {events}")
+        summary = engine.summary()
+        print(f"\n== World ({args.steps} steps, {args.profile!r}) ==")
+        print(obs.world_report(summary.to_dict()))
+        print(
+            f"cache artifacts invalidated: {invalidated_total}; "
+            f"RTR delta entries pushed: {deltas_total}"
+        )
+        if args.json:
+            payload = {
+                "summary": summary.to_dict(),
+                "invalidated_artifacts": invalidated_total,
+                "rtr_delta_entries": deltas_total,
+                "ledger": engine.ledger.to_rows(),
+            }
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            print(f"  summary: {args.json}")
+        if slo is not None:
+            slo.export(registry)
+        if observe and args.metrics_out:
+            size = registry.write_prometheus(args.metrics_out)
+            print(f"  metrics: {args.metrics_out} ({size} bytes)")
+        _finish_telemetry(telemetry, args.telemetry_linger)
+        telemetry = None
+    finally:
+        _finish_telemetry(telemetry, 0.0)
+        if observe:
+            obs.disable()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -790,6 +976,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_serve(args)
     if args.command == "rtrd":
         return run_rtrd(args)
+    if args.command == "world":
+        return run_world(args)
     return 1
 
 

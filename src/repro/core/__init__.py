@@ -17,7 +17,13 @@ the report generators for every figure and table.
 
 from repro.core.cdn_asns import CDNASReport, spot_cdn_ases
 from repro.core.cdn_detection import ChainHeuristic
-from repro.core.continuous import ContinuousStudy, compare_results
+from repro.core.continuous import (
+    CampaignSink,
+    ContinuousStudy,
+    RtrSink,
+    TelemetrySink,
+    compare_results,
+)
 from repro.core.exposure import ExposureReport, analyse_exposure
 from repro.core.pipeline import (
     CacheConfig,
@@ -42,6 +48,7 @@ from repro.core.reports import (
 __all__ = [
     "CDNASReport",
     "CacheConfig",
+    "CampaignSink",
     "ChainHeuristic",
     "ContinuousStudy",
     "DomainMeasurement",
@@ -50,9 +57,11 @@ __all__ = [
     "NameMeasurement",
     "PrefixOriginPair",
     "ResilientFunnel",
+    "RtrSink",
     "RunConfig",
     "StudyResult",
     "StudyStatistics",
+    "TelemetrySink",
     "TransparencyReport",
     "analyse_exposure",
     "audit_domain",

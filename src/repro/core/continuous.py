@@ -22,8 +22,9 @@ re-run.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.pipeline import (
     MeasurementStudy,
@@ -115,6 +116,142 @@ def _apex_fingerprint(measurement: NameMeasurement) -> Tuple:
     )
 
 
+class CampaignSink:
+    """Observer protocol for :meth:`ContinuousStudy.attach`.
+
+    A sink rides the campaign loop: ``on_attach`` fires once when the
+    sink is attached, ``before_campaign`` fires before each baseline
+    or refresh starts measuring (this is where a sink may mutate the
+    study's inputs — :class:`~repro.world.WorldSink` advances the CA
+    world here), and ``on_campaign`` fires after each completed
+    campaign.  The base class is all no-ops so sinks override only
+    what they need.
+    """
+
+    def on_attach(self, continuous: "ContinuousStudy") -> None:
+        """Called once, when attached."""
+
+    def before_campaign(
+        self, continuous: "ContinuousStudy", campaign_index: int
+    ) -> None:
+        """Called before campaign ``campaign_index`` (0 = baseline)."""
+
+    def on_campaign(
+        self,
+        continuous: "ContinuousStudy",
+        result: StudyResult,
+        elapsed_s: float,
+        campaigns: int,
+    ) -> None:
+        """Called after every completed baseline or refresh."""
+
+
+class TelemetrySink(CampaignSink):
+    """Wires the campaign loop into the live telemetry plane.
+
+    ``slo`` (an :class:`~repro.obs.window.SLOTracker`) gets a
+    ``refresh`` latency objective — each campaign's wall time is one
+    event, good when it met ``refresh_deadline_s`` — so the exported
+    error-budget gauge answers "how often is this loop falling behind
+    the world".  ``health`` (an :class:`~repro.obs.http.HealthSource`)
+    is stamped after every campaign, which is what drives ``/health``'s
+    ``last_refresh_age_s`` and ``/ready``.  An injected ``clock``
+    makes campaign durations (and therefore the SLO windows)
+    deterministic under virtual time.
+    """
+
+    def __init__(
+        self,
+        slo=None,
+        health=None,
+        clock: Optional[Callable[[], float]] = None,
+        refresh_deadline_s: float = 60.0,
+    ):
+        self._slo = slo
+        self._health = health
+        self._clock = clock
+        self.refresh_deadline_s = refresh_deadline_s
+
+    def on_attach(self, continuous: "ContinuousStudy") -> None:
+        if self._clock is not None:
+            continuous.set_clock(self._clock)
+        if self._slo is not None:
+            self._slo.declare(
+                REFRESH_SLO,
+                threshold_s=self.refresh_deadline_s,
+                target=0.95,
+            )
+
+    def on_campaign(
+        self,
+        continuous: "ContinuousStudy",
+        result: StudyResult,
+        elapsed_s: float,
+        campaigns: int,
+    ) -> None:
+        if self._slo is not None:
+            self._slo.observe(
+                REFRESH_SLO,
+                elapsed_s,
+                ok=elapsed_s <= self.refresh_deadline_s,
+            )
+        if self._health is not None:
+            self._health.mark_refresh()
+            self._health.set_detail(campaigns=campaigns)
+
+
+class RtrSink(CampaignSink):
+    """Feeds each campaign's validated payloads to an RTR daemon.
+
+    After every completed baseline or refresh, ``daemon`` (an
+    :class:`~repro.rtrd.daemon.RTRDaemon`) republishes the study's VRP
+    set to its connected routers.  A campaign that re-derives an
+    unchanged world is a wire no-op: the hardened cache keeps its
+    serial and no router is notified.  The per-publish
+    :class:`~repro.rtrd.daemon.PublishStats` are collected on
+    ``publishes`` for reporting.
+    """
+
+    def __init__(self, daemon):
+        self._daemon = daemon
+        self.publishes: List = []
+
+    @property
+    def daemon(self):
+        return self._daemon
+
+    def on_campaign(
+        self,
+        continuous: "ContinuousStudy",
+        result: StudyResult,
+        elapsed_s: float,
+        campaigns: int,
+    ) -> None:
+        self.publishes.append(self._daemon.publish(continuous.study.payloads))
+
+
+# Deprecated attach_* shims warn once per name per process; tests
+# reset this through _reset_deprecation_warnings() to pin the
+# exactly-once behaviour regardless of execution order.
+_WARNED_DEPRECATED: Set[str] = set()
+
+
+def _reset_deprecation_warnings() -> None:
+    _WARNED_DEPRECATED.clear()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    if name in _WARNED_DEPRECATED:
+        return
+    _WARNED_DEPRECATED.add(name)
+    warnings.warn(
+        f"ContinuousStudy.{name}() is deprecated; use "
+        f"ContinuousStudy.attach({replacement})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class ContinuousStudy:
     """A repeatable campaign over one study configuration.
 
@@ -125,6 +262,11 @@ class ContinuousStudy:
     form whose inputs are unchanged is carried over *exactly* (no
     staleness), and the refresh accounting is derived from the cache
     hit/miss counters.
+
+    Side effects compose through :meth:`attach`: pass any number of
+    :class:`CampaignSink` objects (:class:`TelemetrySink`,
+    :class:`RtrSink`, :class:`~repro.world.WorldSink`, or your own)
+    and each baseline/refresh notifies them in attachment order.
     """
 
     def __init__(
@@ -133,13 +275,38 @@ class ContinuousStudy:
         self._study = study
         self._config = config
         self._previous: Optional[StudyResult] = None
-        self._slo = None
-        self._health = None
-        self._rtr = None
+        self._sinks: List[CampaignSink] = []
         self._telemetry_clock: Callable[[], float] = time.perf_counter
-        self._refresh_deadline_s = 60.0
         self._last_refresh_at: Optional[float] = None
         self._campaigns = 0
+
+    @property
+    def study(self) -> MeasurementStudy:
+        """The underlying study (sinks read/replace its inputs)."""
+        return self._study
+
+    @property
+    def config(self) -> Optional[RunConfig]:
+        return self._config
+
+    @property
+    def sinks(self) -> Tuple[CampaignSink, ...]:
+        return tuple(self._sinks)
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Replace the campaign wall clock (virtual time in tests)."""
+        self._telemetry_clock = clock
+
+    def attach(self, *sinks: CampaignSink) -> "ContinuousStudy":
+        """Attach campaign sinks; returns ``self`` to chain.
+
+        Sinks are notified in attachment order on every baseline and
+        refresh; see :class:`CampaignSink` for the hook points.
+        """
+        for sink in sinks:
+            sink.on_attach(self)
+            self._sinks.append(sink)
+        return self
 
     def attach_telemetry(
         self,
@@ -148,31 +315,21 @@ class ContinuousStudy:
         clock: Optional[Callable[[], float]] = None,
         refresh_deadline_s: float = 60.0,
     ) -> "ContinuousStudy":
-        """Wire the campaign loop into the live telemetry plane.
-
-        ``slo`` (an :class:`~repro.obs.window.SLOTracker`) gets a
-        ``refresh`` latency objective — each campaign's wall time is
-        one event, good when it met ``refresh_deadline_s`` — so the
-        exported error-budget gauge answers "how often is this loop
-        falling behind the world".  ``health`` (an
-        :class:`~repro.obs.http.HealthSource`) is stamped after every
-        campaign, which is what drives ``/health``'s
-        ``last_refresh_age_s`` and ``/ready``.  An injected ``clock``
-        makes campaign durations (and therefore the SLO windows)
-        deterministic under virtual time.  Returns ``self`` to chain.
-        """
-        self._slo = slo
-        self._health = health
-        if clock is not None:
-            self._telemetry_clock = clock
-        self._refresh_deadline_s = refresh_deadline_s
-        if slo is not None:
-            slo.declare(
-                REFRESH_SLO,
-                threshold_s=refresh_deadline_s,
-                target=0.95,
+        """Deprecated: use ``attach(TelemetrySink(...))``."""
+        _warn_deprecated("attach_telemetry", "TelemetrySink(...)")
+        return self.attach(
+            TelemetrySink(
+                slo=slo,
+                health=health,
+                clock=clock,
+                refresh_deadline_s=refresh_deadline_s,
             )
-        return self
+        )
+
+    def attach_rtr(self, daemon) -> "ContinuousStudy":
+        """Deprecated: use ``attach(RtrSink(daemon))``."""
+        _warn_deprecated("attach_rtr", "RtrSink(daemon)")
+        return self.attach(RtrSink(daemon))
 
     @property
     def last_refresh_age_s(self) -> Optional[float]:
@@ -182,43 +339,27 @@ class ContinuousStudy:
             return None
         return self._telemetry_clock() - self._last_refresh_at
 
-    def attach_rtr(self, daemon) -> "ContinuousStudy":
-        """Feed each campaign's validated payloads to an RTR daemon.
-
-        After every completed baseline or refresh, ``daemon``
-        (an :class:`~repro.rtrd.daemon.RTRDaemon`) republishes the
-        study's VRP set to its connected routers.  A campaign that
-        re-derives an unchanged world is a wire no-op: the hardened
-        cache keeps its serial and no router is notified.  Returns
-        ``self`` to chain.
-        """
-        self._rtr = daemon
-        return self
-
-    def _record_campaign(self, elapsed: float, campaigns: int) -> None:
-        if self._rtr is not None:
-            self._rtr.publish(self._study.payloads)
+    def _record_campaign(
+        self, result: StudyResult, elapsed: float, campaigns: int
+    ) -> None:
         self._last_refresh_at = self._telemetry_clock()
-        if self._slo is not None:
-            self._slo.observe(
-                REFRESH_SLO,
-                elapsed,
-                ok=elapsed <= self._refresh_deadline_s,
-            )
-        if self._health is not None:
-            self._health.mark_refresh()
-            self._health.set_detail(campaigns=campaigns)
+        for sink in self._sinks:
+            sink.on_campaign(self, result, elapsed, campaigns)
 
     def baseline(self) -> StudyResult:
         """The initial full campaign (both name forms everywhere)."""
         started = self._telemetry_clock()
+        for sink in self._sinks:
+            sink.before_campaign(self, 0)
         if self._config is not None:
             result = self._study.run(config=self._config)
         else:
             result = self._study.run()
         self._previous = result
         self._campaigns = 1
-        self._record_campaign(self._telemetry_clock() - started, self._campaigns)
+        self._record_campaign(
+            result, self._telemetry_clock() - started, self._campaigns
+        )
         return result
 
     def refresh(self) -> Tuple[StudyResult, RefreshStats]:
@@ -226,6 +367,8 @@ class ContinuousStudy:
         if self._previous is None:
             raise RuntimeError("call baseline() before refresh()")
         started = self._telemetry_clock()
+        for sink in self._sinks:
+            sink.before_campaign(self, self._campaigns)
         if self._config is not None and self._config.cache is not None:
             result, stats = self._cached_refresh()
         else:
@@ -234,7 +377,7 @@ class ContinuousStudy:
         self._previous = result
         self._campaigns += 1
         self._record_campaign(
-            self._telemetry_clock() - started, self._campaigns
+            result, self._telemetry_clock() - started, self._campaigns
         )
         return result, stats
 

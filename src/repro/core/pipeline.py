@@ -9,7 +9,6 @@ validation outcome."
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
@@ -452,8 +451,8 @@ class RunConfig:
     """Everything one :meth:`MeasurementStudy.run` needs, in one value.
 
     Built once (by the CLI or a test) and passed to ``run(config=...)``
-    — replacing the grown pile of per-call keywords, which survive
-    only as a deprecated shim.  Frozen so a config can be shared
+    — the only run entry point since the per-call keyword shim was
+    removed.  Frozen so a config can be shared
     between runs, shards, and worker processes without aliasing
     surprises; the progress sink is the one non-picklable field and
     is stripped before a config crosses a process boundary.
@@ -537,36 +536,38 @@ class MeasurementStudy:
     def payloads(self) -> ValidatedPayloads:
         return self._payloads
 
-    def run(
-        self,
-        config: Optional[Union[RunConfig, ProgressSink]] = None,
-        *,
-        progress: Optional[ProgressSink] = None,
-        workers: Optional[int] = None,
-        mode: Optional[str] = None,
-        shard_size: Optional[int] = None,
-    ) -> StudyResult:
+    def replace_payloads(self, payloads: ValidatedPayloads) -> None:
+        """Swap in a new validated VRP set (the world moved).
+
+        The next :meth:`run` validates against the new payloads; on a
+        cache-backed run the VRP digest changes with them, so the
+        session invalidates exactly the artifacts whose prefix/origin
+        pairs are covered by the symmetric difference.
+        """
+        self._payloads = payloads
+
+    def run(self, config: Optional[RunConfig] = None) -> StudyResult:
         """Execute steps 2-4 for every domain of the ranking.
 
-        All run-shaping knobs live on the :class:`RunConfig`:
-        ``workers`` > 1 shards the ranking into contiguous rank
-        chunks and fans them out through :mod:`repro.exec`, ``mode``
-        picks the execution backend, ``faults``/``retry`` activate
-        the resilience layer (:mod:`repro.core.resilience`), and
-        ``progress`` receives rate/ETA events.  The result is
-        bit-identical across backends for any fixed config.
-
-        The keyword arguments (and passing a progress sink
-        positionally) are a deprecated compatibility shim; they build
-        the equivalent ``RunConfig`` and warn.
+        All run-shaping knobs live on the :class:`RunConfig` — the
+        single entry point since the per-call keyword shim was
+        removed: ``workers`` > 1 shards the ranking into contiguous
+        rank chunks and fans them out through :mod:`repro.exec`,
+        ``mode`` picks the execution backend, ``faults``/``retry``
+        activate the resilience layer
+        (:mod:`repro.core.resilience`), and ``progress`` receives
+        rate/ETA events.  The result is bit-identical across backends
+        for any fixed config.
         """
-        config = self._coerce_config(
-            config,
-            progress=progress,
-            workers=workers,
-            mode=mode,
-            shard_size=shard_size,
-        )
+        if config is None:
+            config = RunConfig()
+        elif not isinstance(config, RunConfig):
+            raise TypeError(
+                "MeasurementStudy.run() takes a RunConfig; the legacy "
+                "per-call keywords (and positional progress sinks) "
+                "were removed — build a RunConfig and pass "
+                "run(config=RunConfig(...))"
+            )
         if (
             config.workers > 1
             or config.mode not in ("auto", "serial")
@@ -604,54 +605,6 @@ class MeasurementStudy:
         if reporter is not None:
             reporter.done()
         return StudyResult(measurements, stats)
-
-    @staticmethod
-    def _coerce_config(
-        config,
-        progress,
-        workers,
-        mode,
-        shard_size,
-    ) -> RunConfig:
-        """Normalise the run() call surface onto one RunConfig."""
-        if config is not None and not isinstance(config, RunConfig):
-            # Legacy positional progress sink: run(reporter).
-            if progress is not None:
-                raise TypeError(
-                    "progress passed both positionally and by keyword"
-                )
-            progress = config
-            config = None
-        legacy = {
-            name: value
-            for name, value in (
-                ("progress", progress),
-                ("workers", workers),
-                ("mode", mode),
-                ("shard_size", shard_size),
-            )
-            if value is not None
-        }
-        if config is not None:
-            if legacy:
-                raise TypeError(
-                    "pass either config=RunConfig(...) or the legacy "
-                    f"keywords, not both (got {sorted(legacy)})"
-                )
-            return config
-        if legacy:
-            warnings.warn(
-                "per-call keywords to MeasurementStudy.run() are "
-                "deprecated; build a RunConfig and pass run(config=...)",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-        return RunConfig(
-            workers=workers if workers is not None else 1,
-            mode=mode if mode is not None else "auto",
-            shard_size=shard_size,
-            progress=progress,
-        )
 
     def resilient_funnel(self, config: RunConfig):
         """The fault-injected funnel a resilient ``config`` demands."""

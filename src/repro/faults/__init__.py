@@ -44,6 +44,13 @@ from repro.faults.plan import (
     RTR_SESSION_DROP,
     SERVE_STALE,
     SERVE_TIMEOUT,
+    WORLD_CRL_SKIP,
+    WORLD_KEY_ROLLOVER,
+    WORLD_KINDS,
+    WORLD_MANIFEST_SKIP,
+    WORLD_PP_OUTAGE,
+    WORLD_ROA_ISSUE,
+    WORLD_ROA_WITHDRAW,
     FaultPlan,
 )
 from repro.faults.retry import (
@@ -80,5 +87,12 @@ __all__ = [
     "SERVE_STALE",
     "SERVE_TIMEOUT",
     "TransientFault",
+    "WORLD_CRL_SKIP",
+    "WORLD_KEY_ROLLOVER",
+    "WORLD_KINDS",
+    "WORLD_MANIFEST_SKIP",
+    "WORLD_PP_OUTAGE",
+    "WORLD_ROA_ISSUE",
+    "WORLD_ROA_WITHDRAW",
     "call_with_retry",
 ]

@@ -38,8 +38,17 @@ RTR_SESSION_DROP = "rtr.session_drop"
 RTR_CACHE_RESET = "rtr.cache_reset"
 SERVE_STALE = "serve.stale"      # query hit a snapshot behind the world
 SERVE_TIMEOUT = "serve.timeout"  # upstream refresh missed its deadline
+# CA-side lifecycle events (the repro.world engine's per-step decisions;
+# reusing the seeded schedule keeps a world bit-identical per seed).
+WORLD_PP_OUTAGE = "world.pp_outage"          # publication point unreachable
+WORLD_MANIFEST_SKIP = "world.manifest_skip"  # CA missed its manifest re-sign
+WORLD_CRL_SKIP = "world.crl_skip"            # CA missed its CRL refresh
+WORLD_ROA_ISSUE = "world.roa_issue"          # CA signs another prefix
+WORLD_ROA_WITHDRAW = "world.roa_withdraw"    # CA withdraws a published ROA
+WORLD_KEY_ROLLOVER = "world.key_rollover"    # CA starts a staged key rollover
 
-FAULT_KINDS: Tuple[str, ...] = (
+# The measurement-side kinds; "chaos" soaks exactly these.
+_MEASUREMENT_KINDS: Tuple[str, ...] = (
     DNS_SERVFAIL,
     DNS_TIMEOUT,
     DNS_TRUNCATED_CHAIN,
@@ -50,6 +59,17 @@ FAULT_KINDS: Tuple[str, ...] = (
     SERVE_STALE,
     SERVE_TIMEOUT,
 )
+
+WORLD_KINDS: Tuple[str, ...] = (
+    WORLD_PP_OUTAGE,
+    WORLD_MANIFEST_SKIP,
+    WORLD_CRL_SKIP,
+    WORLD_ROA_ISSUE,
+    WORLD_ROA_WITHDRAW,
+    WORLD_KEY_ROLLOVER,
+)
+
+FAULT_KINDS: Tuple[str, ...] = _MEASUREMENT_KINDS + WORLD_KINDS
 
 # Named profiles for the CLI.  "flaky" models everyday measurement
 # weather (most sites recover within a retry or two); "degraded"
@@ -78,7 +98,7 @@ PROFILES: Dict[str, Dict[str, float]] = {
         SERVE_STALE: 0.10,
         SERVE_TIMEOUT: 0.05,
     },
-    "chaos": {kind: 0.30 for kind in FAULT_KINDS},
+    "chaos": {kind: 0.30 for kind in _MEASUREMENT_KINDS},
 }
 
 

@@ -60,6 +60,7 @@ from repro.obs.report import (
     stage_timing_report,
     timing_summary,
     timing_table,
+    world_report,
     write_timing_summary,
 )
 from repro.obs.runtime import (
@@ -143,5 +144,6 @@ __all__ = [
     "timing_summary",
     "timing_table",
     "tracer",
+    "world_report",
     "write_timing_summary",
 ]

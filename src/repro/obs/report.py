@@ -189,6 +189,49 @@ def rtrd_report(summary: Mapping[str, object]) -> str:
     return "\n".join(lines)
 
 
+def world_report(summary: Mapping[str, object]) -> str:
+    """Render a world-engine run summary as run/event tables.
+
+    ``summary`` is the plain-dict shape of
+    :meth:`repro.world.WorldSummary.to_dict` (same rationale as
+    :func:`serve_report`: this module takes values, not engines).
+    """
+    run = TextTable(
+        ["profile", "seed", "steps", "CAs", "final VRPs",
+         "+VRPs", "-VRPs", "stale obs", "dropped obs"]
+    )
+    run.add_row(
+        summary.get("profile", "?"),
+        summary.get("seed", 0),
+        summary.get("steps", 0),
+        summary.get("authorities", 0),
+        summary.get("final_vrps", 0),
+        summary.get("vrps_added_total", 0),
+        summary.get("vrps_removed_total", 0),
+        summary.get("stale_point_observations", 0),
+        summary.get("dropped_point_observations", 0),
+    )
+    lines = [run.render()]
+    events = summary.get("events_by_kind", {})
+    if events:
+        table = TextTable(["event kind", "count"])
+        for kind in sorted(events):
+            table.add_row(kind, events[kind])
+        table.add_row("total", sum(events.values()))
+        lines.append(table.render())
+    deltas = summary.get("delta_sizes", [])
+    if deltas:
+        lines.append(
+            f"per-step VRP delta: mean "
+            f"{sum(deltas) / len(deltas):.2f}, max {max(deltas)} "
+            f"({len(deltas)} steps)"
+        )
+    digest = summary.get("ledger_digest")
+    if digest:
+        lines.append(f"ledger digest: {digest}")
+    return "\n".join(lines)
+
+
 def profile_report(report, top: int = 15) -> str:
     """Render a :class:`~repro.obs.profile.ProfileReport` top-N table.
 

@@ -9,12 +9,13 @@ over the same kind of artifact the paper used.
 """
 
 from repro.registry.database import RegistryDatabase
-from repro.registry.generate import registry_for_world
+from repro.registry.generate import registry_for_origins, registry_for_world
 from repro.registry.objects import AutNum, RPSLError
 
 __all__ = [
     "AutNum",
     "RPSLError",
     "RegistryDatabase",
+    "registry_for_origins",
     "registry_for_world",
 ]

@@ -39,6 +39,31 @@ def registry_for_world(world) -> RegistryDatabase:
     return database
 
 
+def registry_for_origins(
+    origins: Iterable, source: str = "RIPE"
+) -> RegistryDatabase:
+    """Generate one aut-num per origin AS of a stepped world.
+
+    The world engine's actors hold prefixes signed for origin ASes
+    (:meth:`repro.world.WorldEngine.origin_asns`); this registers each
+    of them so audit-style lookups resolve during a world run.  Names
+    are derived from the AS number alone, keeping the rows a pure
+    function of the origin set.
+    """
+    database = RegistryDatabase()
+    for asn in sorted(origins, key=int):
+        database.add(
+            AutNum(
+                asn=asn,
+                as_name=f"AS{int(asn)}-NET",
+                descr=f"World engine origin AS{int(asn)}",
+                org=f"ORG-WORLD-{int(asn)}",
+                source=source,
+            )
+        )
+    return database
+
+
 def spot_cdn_ases_in_registry(
     database: RegistryDatabase, operators=None
 ) -> Dict[str, List]:

@@ -243,6 +243,42 @@ class CertificateAuthority:
         )
         return certificate, keypair
 
+    def rollover_child(self, child: "CertificateAuthority") -> ResourceCertificate:
+        """Start a staged key rollover for ``child`` (RFC 6489 step 1).
+
+        Mints a fresh key pair for the child, re-signs its certificate
+        (same subject, same resources, new serial) under this CA, and
+        swaps the child's key pair and certificate in place.  The
+        superseded certificate is *returned, not revoked*: a staged
+        rollover keeps both keys valid while the child re-signs its
+        products under the new key; the caller revokes the old serial
+        (and withdraws the old publication point) once that completes.
+        """
+        if child not in self.children:
+            raise IssuanceError(
+                f"{child.name!r} is not a child of {self.name!r}"
+            )
+        old_certificate = child.certificate
+        keypair = generate_keypair(
+            self._rng.fork(
+                f"ca-rollover:{child.name}:{old_certificate.serial}"
+            ),
+            bits=self._key_bits,
+        )
+        child.keypair = keypair
+        child.certificate = _sign_certificate(
+            subject=child.name,
+            serial=next(self._serials),
+            public_key=keypair.public,
+            resources=old_certificate.resources,
+            not_before=old_certificate.not_before,
+            not_after=old_certificate.not_after,
+            issuer_fingerprint=self.keypair.public.fingerprint(),
+            is_ca=True,
+            issuer_keypair=self.keypair,
+        )
+        return old_certificate
+
     def _peek_serial(self) -> int:
         # itertools.count has no peek; a fork label only needs to be unique
         # per issuance, so draw a label from the CA's own RNG instead.

@@ -86,6 +86,14 @@ class Repository:
     def lookup(self, ca_fingerprint: str) -> Optional[PublicationPoint]:
         return self._points.get(ca_fingerprint)
 
+    def remove_point(self, ca_fingerprint: str) -> bool:
+        """Withdraw a whole publication point (True when it existed).
+
+        Completing a key rollover retires the old key's publication
+        point; relying parties must no longer see its products.
+        """
+        return self._points.pop(ca_fingerprint, None) is not None
+
     def add_trust_anchor(self, cert: ResourceCertificate) -> None:
         self.trust_anchor_certificates[cert.fingerprint()] = cert
 

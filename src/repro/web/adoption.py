@@ -81,6 +81,11 @@ class AdoptionOutcome:
     misconfigured_prefixes: Set[Prefix] = field(default_factory=set)
     # Prefix -> partner AS pre-authorized but never announcing (§5.2).
     backup_authorizations: Dict[Prefix, ASN] = field(default_factory=dict)
+    # Live CA objects, retained so the world engine (repro.world) can
+    # keep re-signing manifests, rolling keys, and churning ROAs over
+    # the same hierarchy the adoption model built.
+    anchors: Dict[str, CertificateAuthority] = field(default_factory=dict)
+    authorities: Dict[str, CertificateAuthority] = field(default_factory=dict)
 
 
 class AdoptionModel:
@@ -110,6 +115,7 @@ class AdoptionModel:
             tals=tals,
             payloads=ValidatedPayloads(),
             report=ValidationReport(),
+            anchors=anchors,
         )
 
         # Partner pool for backup authorizations: transit providers
@@ -174,6 +180,7 @@ class AdoptionModel:
             org.name,
             ResourceSet(prefixes=org.prefixes.keys()).with_asns(org.asns),
         )
+        outcome.authorities[org.name] = ca
         misconfig_every = (
             round(1 / config.misconfig_fraction)
             if config.misconfig_fraction > 0

@@ -1,0 +1,51 @@
+"""Time-stepped CA/publication world engine (``repro.world``).
+
+The paper's finding — sparse, operationally fragile RPKI coverage of
+the web — is a statement about how the *CA side* behaves over time.
+This package steps that behaviour: a deterministic, seeded engine
+advances virtual time over the existing :mod:`repro.rpki` object
+model, re-signing manifests and CRLs on schedule, issuing and
+expiring ROAs, staging key rollovers, and letting publication points
+go dark, while a relying-party view applies RFC 9286-style freshness
+rules so stale points *degrade* (serve cached VRPs inside a grace
+window) instead of vanishing.
+
+* :mod:`repro.world.events` — the :class:`WorldEvent` ledger with a
+  canonical digest (bit-identical replay is asserted on it);
+* :mod:`repro.world.scenarios` — named scenario profiles (``calm``,
+  ``sloppy-ca``, ``flap``, ``rollover-storm``) built on the
+  :class:`repro.faults.FaultPlan` seeded-schedule machinery;
+* :mod:`repro.world.view` — :class:`RelyingPartyView`, the freshness
+  and fallback layer over the strict validator;
+* :mod:`repro.world.engine` — :class:`WorldEngine` itself;
+* :mod:`repro.world.sink` — :class:`WorldSink`, the
+  :class:`repro.core.continuous.CampaignSink` that turns each engine
+  step into a refresh campaign.
+"""
+
+from repro.world.engine import WorldConfig, WorldEngine, WorldStep, WorldSummary
+from repro.world.events import EventLedger, WorldEvent
+from repro.world.scenarios import WORLD_PROFILES, world_plan
+from repro.world.sink import WorldSink
+from repro.world.view import (
+    RelyingPartyView,
+    ViewObservation,
+    vrp_key,
+    vrp_rows,
+)
+
+__all__ = [
+    "EventLedger",
+    "RelyingPartyView",
+    "ViewObservation",
+    "WORLD_PROFILES",
+    "WorldConfig",
+    "WorldEngine",
+    "WorldEvent",
+    "WorldSink",
+    "WorldStep",
+    "WorldSummary",
+    "world_plan",
+    "vrp_key",
+    "vrp_rows",
+]

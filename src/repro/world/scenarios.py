@@ -1,0 +1,71 @@
+"""Named world scenarios.
+
+Each profile is a rate table over the ``world.*`` fault kinds,
+consumed through :class:`repro.faults.FaultPlan` — the same pure
+``(seed, kind, key)`` schedule the measurement-side fault layer uses.
+That inheritance is the whole point: a world stepped from seed *S*
+under profile *P* makes identical per-step decisions no matter which
+execution backend later measures it, so the event ledger and VRP sets
+replay bit-identically.
+
+Rates are per CA per step.  ``calm`` models well-run CAs (pure ROA
+churn, everything re-signed on time); ``sloppy-ca`` adds the missed
+manifest/CRL re-signs Müller-Brus et al. observe in the wild;
+``flap`` makes publication points wink in and out so stale windows
+open and close; ``rollover-storm`` piles staged key rollovers on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.faults import (
+    WORLD_CRL_SKIP,
+    WORLD_KEY_ROLLOVER,
+    WORLD_MANIFEST_SKIP,
+    WORLD_PP_OUTAGE,
+    WORLD_ROA_ISSUE,
+    WORLD_ROA_WITHDRAW,
+    FaultPlan,
+)
+
+WORLD_PROFILES: Dict[str, Dict[str, float]] = {
+    "calm": {
+        WORLD_ROA_ISSUE: 0.10,
+        WORLD_ROA_WITHDRAW: 0.03,
+    },
+    "sloppy-ca": {
+        WORLD_ROA_ISSUE: 0.15,
+        WORLD_ROA_WITHDRAW: 0.08,
+        WORLD_MANIFEST_SKIP: 0.20,
+        WORLD_CRL_SKIP: 0.15,
+        WORLD_PP_OUTAGE: 0.08,
+    },
+    "flap": {
+        WORLD_ROA_ISSUE: 0.08,
+        WORLD_ROA_WITHDRAW: 0.05,
+        WORLD_PP_OUTAGE: 0.30,
+        WORLD_MANIFEST_SKIP: 0.05,
+    },
+    "rollover-storm": {
+        WORLD_ROA_ISSUE: 0.10,
+        WORLD_ROA_WITHDRAW: 0.05,
+        WORLD_KEY_ROLLOVER: 0.25,
+        WORLD_MANIFEST_SKIP: 0.05,
+        WORLD_CRL_SKIP: 0.05,
+    },
+}
+
+
+def world_plan(profile: str, seed: int = 0) -> FaultPlan:
+    """The seeded schedule for a named world profile."""
+    try:
+        rates = WORLD_PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown world profile {profile!r}; "
+            f"known: {sorted(WORLD_PROFILES)}"
+        ) from None
+    # max_consecutive=1: the engine redraws each step with a fresh
+    # key, so consecutive-failure budgets would be redundant state.
+    return FaultPlan.from_rates(rates, seed=seed, max_consecutive=1)

@@ -1,0 +1,46 @@
+"""WorldSink: each refresh campaign measures a freshly stepped world.
+
+Attached via ``ContinuousStudy.attach(WorldSink(engine))``, the sink
+advances the :class:`~repro.world.engine.WorldEngine` one step before
+every refresh campaign and swaps the step's observed VRP set into the
+study.  On a cache-backed config that changes the VRP digest, so the
+snapshot cache invalidates exactly the artifacts whose prefix/origin
+pairs the churn touched — realistic selective invalidation instead of
+synthetic diffs.  The baseline campaign measures the world's step-0
+observation (strict validation of the bootstrap state).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.continuous import CampaignSink, ContinuousStudy
+from repro.core.pipeline import StudyResult
+from repro.world.engine import WorldEngine, WorldStep
+
+
+class WorldSink(CampaignSink):
+    """Steps a world engine in front of every refresh campaign."""
+
+    def __init__(self, engine: WorldEngine):
+        self._engine = engine
+        self.steps: List[WorldStep] = []
+
+    @property
+    def engine(self) -> WorldEngine:
+        return self._engine
+
+    def on_attach(self, continuous: ContinuousStudy) -> None:
+        # The baseline measures the bootstrap observation, not the
+        # adoption model's permissive validation pass.
+        continuous.study.replace_payloads(self._engine.payloads)
+
+    def before_campaign(
+        self, continuous: ContinuousStudy, campaign_index: int
+    ) -> None:
+        if campaign_index == 0:
+            self.steps.append(self._engine.current)
+            return
+        step = self._engine.step()
+        self.steps.append(step)
+        continuous.study.replace_payloads(step.payloads)

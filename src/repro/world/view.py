@@ -1,0 +1,174 @@
+"""The relying-party view: freshness rules and graceful degradation.
+
+RFC 9286 tells a relying party what to do when a publication point's
+manifest is missing, stale, or inconsistent: treat the fetch as
+failed and *continue using the previously validated objects* until a
+local expiry — degrade, don't vanish.  :class:`RelyingPartyView`
+implements that contract over the strict validator:
+
+* a **fresh** point (current, verifiable manifest; its objects
+  survive strict validation) contributes its VRPs and refreshes the
+  view's per-point cache;
+* a **stale** point (expired/skipped manifest, or an outage upstream
+  that took its certificate chain down) serves the cached VRPs from
+  its last successful fetch, for up to ``grace`` time units;
+* a point stale for longer than the grace window is **dropped** — its
+  VRPs finally leave the set, which is exactly the silent erosion the
+  paper warns about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.rpki import (
+    RelyingParty,
+    Repository,
+    TrustAnchorLocator,
+    ValidatedPayloads,
+)
+from repro.rpki.vrp import VRP
+
+# A VRP's identity for delta/caching purposes (trust anchor excluded:
+# a rollover must not read as a VRP change).
+VrpKey = Tuple[str, int, int]
+
+
+def vrp_key(vrp: VRP) -> VrpKey:
+    return (str(vrp.prefix), vrp.max_length, int(vrp.asn))
+
+
+def vrp_rows(payloads_or_vrps) -> Tuple[Tuple[str, int, int, str], ...]:
+    """Sorted primitive rows for digesting and delta accounting."""
+    return tuple(
+        sorted(
+            (str(v.prefix), v.max_length, int(v.asn), v.trust_anchor)
+            for v in payloads_or_vrps
+        )
+    )
+
+
+@dataclass
+class _PointCache:
+    """The last successful fetch of one publication point."""
+
+    vrps: Tuple[VRP, ...]
+    fetched_at: float
+
+
+@dataclass
+class ViewObservation:
+    """One relying-party pass over the repository at a virtual time."""
+
+    time: float
+    payloads: ValidatedPayloads
+    fresh_vrps: int = 0
+    stale_vrps: int = 0
+    fresh_points: int = 0
+    stale_points: int = 0
+    dropped_points: int = 0
+    rejected_objects: int = 0
+
+    @property
+    def total_vrps(self) -> int:
+        return self.fresh_vrps + self.stale_vrps
+
+    def rows(self) -> Tuple[Tuple[str, int, int, str], ...]:
+        return vrp_rows(self.payloads)
+
+
+class RelyingPartyView:
+    """A stateful relying party with RFC 9286-style fallback.
+
+    ``grace`` is how long (in the world's virtual time units) a
+    point's previously validated VRPs stay served after its manifest
+    stops being fresh.
+    """
+
+    def __init__(
+        self,
+        repository: Repository,
+        tals: Sequence[TrustAnchorLocator],
+        grace: float = 2.0,
+    ):
+        if grace < 0:
+            raise ValueError("grace must be >= 0")
+        self._repository = repository
+        self._tals = list(tals)
+        self._grace = grace
+        self._validator = RelyingParty(repository, strict_manifests=True)
+        self._cache: Dict[str, _PointCache] = {}
+
+    @property
+    def grace(self) -> float:
+        return self._grace
+
+    def observe(self, now: float) -> ViewObservation:
+        """Validate at ``now`` and fold in the grace-window fallback."""
+        fresh, report = self._validator.validate(self._tals, now=now)
+        fresh_by_key: Dict[VrpKey, VRP] = {vrp_key(v): v for v in fresh}
+
+        observation = ViewObservation(
+            time=now,
+            payloads=ValidatedPayloads(),
+            rejected_objects=report.rejected_count,
+        )
+        combined: Dict[VrpKey, VRP] = {}
+
+        for fingerprint, point in sorted(
+            (p.ca_fingerprint, p) for p in self._repository.points()
+        ):
+            candidates = self._candidate_keys(point)
+            manifest = point.manifest
+            fresh_here = [
+                fresh_by_key[key] for key in candidates if key in fresh_by_key
+            ]
+            manifest_current = (
+                manifest is not None and manifest.is_current(now)
+            )
+            # A current manifest whose candidate ROAs all failed
+            # strict validation means the failure is upstream (its own
+            # CA certificate was rejected or revoked) — treat that
+            # like a failed fetch too.
+            point_fresh = manifest_current and (
+                bool(fresh_here) or not candidates
+            )
+            if point_fresh:
+                observation.fresh_points += 1
+                self._cache[fingerprint] = _PointCache(
+                    vrps=tuple(fresh_here), fetched_at=now
+                )
+                for vrp in fresh_here:
+                    combined.setdefault(vrp_key(vrp), vrp)
+                continue
+            cached = self._cache.get(fingerprint)
+            if cached is not None and now - cached.fetched_at <= self._grace:
+                observation.stale_points += 1
+                for vrp in cached.vrps:
+                    key = vrp_key(vrp)
+                    if key not in combined and key not in fresh_by_key:
+                        combined[key] = vrp
+                        observation.stale_vrps += 1
+            else:
+                observation.dropped_points += 1
+
+        # VRPs from fresh points plus anything else strict validation
+        # accepted (e.g. a point created this step, cache-less).
+        for key, vrp in fresh_by_key.items():
+            combined.setdefault(key, vrp)
+        observation.fresh_vrps = len(combined) - observation.stale_vrps
+        for _key, vrp in sorted(combined.items()):
+            observation.payloads.add(vrp)
+        return observation
+
+    @staticmethod
+    def _candidate_keys(point) -> List[VrpKey]:
+        """The VRP identities this point's ROAs would produce."""
+        keys: List[VrpKey] = []
+        for roa in point.roas.values():
+            for entry in roa.prefixes:
+                keys.append(
+                    (str(entry.prefix), entry.max_length, int(roa.as_id))
+                )
+        return keys

@@ -1,0 +1,137 @@
+"""Public API surface: ``__all__`` audits and deprecation contracts."""
+
+import importlib
+import warnings
+
+import pytest
+
+from repro.core import ContinuousStudy
+from repro.core.continuous import _reset_deprecation_warnings
+
+PUBLIC_MODULES = [
+    "repro.core",
+    "repro.faults",
+    "repro.obs",
+    "repro.registry",
+    "repro.rpki",
+    "repro.rtrd",
+    "repro.world",
+]
+
+
+class TestAllAudits:
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_every_all_name_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", None)
+        assert exported, f"{module_name} must declare __all__"
+        for name in exported:
+            assert hasattr(module, name), (
+                f"{module_name}.__all__ lists {name!r} "
+                "but the module does not define it"
+            )
+
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_all_has_no_duplicates(self, module_name):
+        exported = importlib.import_module(module_name).__all__
+        assert len(exported) == len(set(exported))
+
+    def test_sink_types_are_public(self):
+        import repro.core as core
+
+        for name in ("CampaignSink", "TelemetrySink", "RtrSink"):
+            assert name in core.__all__
+        import repro.world as world
+
+        assert "WorldSink" in world.__all__
+
+    def test_world_surface_is_complete(self):
+        import repro.world as world
+
+        for name in (
+            "WorldEngine", "WorldConfig", "WorldStep", "WorldSummary",
+            "WorldEvent", "EventLedger", "RelyingPartyView",
+            "WORLD_PROFILES", "world_plan",
+        ):
+            assert name in world.__all__
+
+
+class _StudyStub:
+    """``attach`` never touches the study, so a stub is enough."""
+
+
+class TestDeprecatedShims:
+    def setup_method(self):
+        _reset_deprecation_warnings()
+
+    def teardown_method(self):
+        _reset_deprecation_warnings()
+
+    def test_attach_telemetry_warns_exactly_once(self):
+        continuous = ContinuousStudy(_StudyStub())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            continuous.attach_telemetry()
+            continuous.attach_telemetry()
+        relevant = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(relevant) == 1
+        assert "TelemetrySink" in str(relevant[0].message)
+
+    def test_attach_rtr_warns_exactly_once(self):
+        class DaemonStub:
+            pass
+
+        continuous = ContinuousStudy(_StudyStub())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            continuous.attach_rtr(DaemonStub())
+            continuous.attach_rtr(DaemonStub())
+        relevant = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(relevant) == 1
+        assert "RtrSink" in str(relevant[0].message)
+
+    def test_each_shim_warns_independently(self):
+        class DaemonStub:
+            pass
+
+        continuous = ContinuousStudy(_StudyStub())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            continuous.attach_telemetry()
+            continuous.attach_rtr(DaemonStub())
+        relevant = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(relevant) == 2
+
+    def test_shims_still_attach_working_sinks(self):
+        from repro.core import RtrSink, TelemetrySink
+
+        class DaemonStub:
+            pass
+
+        continuous = ContinuousStudy(_StudyStub())
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            continuous.attach_telemetry()
+            continuous.attach_rtr(DaemonStub())
+        kinds = [type(sink) for sink in continuous.sinks]
+        assert kinds == [TelemetrySink, RtrSink]
+
+
+class TestRunConfigOnlyEntryPoint:
+    def test_run_rejects_legacy_keywords(self, small_world):
+        from repro.core import MeasurementStudy
+
+        study = MeasurementStudy.from_ecosystem(small_world)
+        with pytest.raises(TypeError):
+            study.run(workers=2)
+        with pytest.raises(TypeError, match="RunConfig"):
+            study.run(lambda event: None)

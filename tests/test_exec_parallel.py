@@ -110,7 +110,7 @@ class TestSerialParallelEquivalence:
     def test_workers4_matches_serial(self, study, serial_baseline, mode):
         serial, serial_registry = serial_baseline
         with obs.scope() as (registry, collector):
-            parallel = study.run(workers=4, mode=mode)
+            parallel = study.run(config=RunConfig(workers=4, mode=mode))
             cross = pipeline_statistics(parallel, registry=registry)
         assert parallel == serial
         assert list(parallel) == list(serial)
@@ -122,18 +122,19 @@ class TestSerialParallelEquivalence:
     def test_shard_size_does_not_change_the_result(self, study, serial_baseline):
         serial, _ = serial_baseline
         for shard_size in (1, 7, 500, 10_000):
-            assert study.run(workers=2, mode="thread",
-                             shard_size=shard_size) == serial
+            assert study.run(config=RunConfig(
+                workers=2, mode="thread", shard_size=shard_size,
+            )) == serial
 
     def test_measurement_order_is_rank_order(self, study, serial_baseline):
         serial, _ = serial_baseline
-        parallel = study.run(workers=3, mode="thread")
+        parallel = study.run(config=RunConfig(workers=3, mode="thread"))
         assert [m.rank for m in parallel] == [m.rank for m in serial]
 
     def test_disabled_observability_still_equal(self, study, serial_baseline):
         serial, _ = serial_baseline
         assert not obs.observability_enabled()
-        assert study.run(workers=2, mode="thread") == serial
+        assert study.run(config=RunConfig(workers=2, mode="thread")) == serial
 
 
 class TestWireCodec:
@@ -217,7 +218,9 @@ class TestExecutorPlumbing:
             total=len(small_world.ranking), callback=capture,
             every=100, min_interval=-1,
         )
-        study.run(progress=reporter, workers=2, mode="thread", shard_size=150)
+        study.run(config=RunConfig(
+            progress=reporter, workers=2, mode="thread", shard_size=150,
+        ))
         assert capture.events[-1].finished
         assert capture.events[-1].count == len(small_world.ranking)
         # shard completions arrive 150 at a time and still fire the
@@ -226,7 +229,7 @@ class TestExecutorPlumbing:
 
     def test_traces_are_grafted_under_the_run(self, study, small_world):
         with obs.scope() as (_registry, collector):
-            study.run(workers=2, mode="thread", shard_size=500)
+            study.run(config=RunConfig(workers=2, mode="thread", shard_size=500))
         roots = [s for s in collector.spans("study.run")]
         assert len(roots) == 1
         shard_spans = collector.spans("shard.run")

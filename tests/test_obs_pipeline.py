@@ -3,7 +3,7 @@
 import pytest
 
 from repro import obs
-from repro.core import MeasurementStudy
+from repro.core import MeasurementStudy, RunConfig
 from repro.core.pipeline import PIPELINE_STAGES, StudyStatistics
 from repro.obs.report import stage_timing_report, timing_summary
 from repro.obs.runtime import metrics, observability_enabled, tracer
@@ -20,7 +20,7 @@ def observed_run(small_world):
             every=250,
             min_interval=-1,
         )
-        result = study.run(progress=reporter)
+        result = study.run(config=RunConfig(progress=reporter))
     return result, registry, collector, capture
 
 
@@ -139,7 +139,7 @@ class TestProgressThroughPipeline:
     def test_bare_callback_is_wrapped(self, small_world):
         events = []
         study = MeasurementStudy.from_ecosystem(small_world)
-        result = study.run(progress=events.append)
+        result = study.run(config=RunConfig(progress=events.append))
         assert events[-1].finished
         assert events[-1].count == len(result)
 

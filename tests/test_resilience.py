@@ -102,17 +102,15 @@ class TestRunConfigAPI:
             study.run(config=RunConfig())
             study.run()
 
-    def test_legacy_keywords_warn_and_still_work(self, study, clean_result):
-        with pytest.deprecated_call():
-            result = study.run(workers=2, mode="thread")
-        assert result == clean_result
+    def test_legacy_keywords_rejected(self, study):
+        with pytest.raises(TypeError):
+            study.run(workers=2, mode="thread")
 
-    def test_legacy_positional_progress_warns(self, study, clean_result):
+    def test_legacy_positional_progress_rejected(self, study):
         events = []
-        with pytest.deprecated_call():
-            result = study.run(events.append)
-        assert result == clean_result
-        assert events and events[-1].finished
+        with pytest.raises(TypeError, match="RunConfig"):
+            study.run(events.append)
+        assert not events
 
     def test_config_plus_keywords_rejected(self, study):
         with pytest.raises(TypeError):

@@ -225,8 +225,8 @@ class TestTelemetry:
 
 
 class TestContinuousIntegration:
-    def test_attach_rtr_publishes_each_campaign(self):
-        from repro.core.continuous import ContinuousStudy
+    def test_rtr_sink_publishes_each_campaign(self):
+        from repro.core.continuous import ContinuousStudy, RtrSink
         from repro.core.pipeline import MeasurementStudy
         from repro.web import EcosystemConfig, WebEcosystem
 
@@ -235,7 +235,7 @@ class TestContinuousIntegration:
         )
         study = MeasurementStudy.from_ecosystem(world)
         daemon = RTRDaemon()
-        continuous = ContinuousStudy(study).attach_rtr(daemon)
+        continuous = ContinuousStudy(study).attach(RtrSink(daemon))
         continuous.baseline()
         assert daemon.serial == 1
         routers = daemon.connect_many(3)
