@@ -1,0 +1,129 @@
+"""ROV experiment + what-if engine benchmark.
+
+Runs one adoption-inference campaign over the ecosystem topology,
+then scores a sweep of adoption futures with the what-if engine,
+verifies both replay bit-identically, and records throughput in
+``BENCH_rov.json`` so future perf PRs have a baseline::
+
+    PYTHONPATH=src python benchmarks/bench_rov.py --domains 400 --futures 20
+
+``classifications_per_second`` tracks the full campaign cost (seeded
+round construction, two propagations per round, candidate-elimination
+inference, verdict aggregation); ``futures_per_second`` tracks payload
+augmentation, re-validation of every (prefix, origin) pair, and the
+seeded hijack replays per future.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.rov import (
+    ExperimentSpec,
+    RovExperimentRunner,
+    WhatIfEngine,
+    named_futures,
+    sample_futures,
+    seeded_enforcers,
+)
+from repro.web import EcosystemConfig, WebEcosystem
+
+DEFAULT_OUT = Path(__file__).parent / "BENCH_rov.json"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--domains", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--rounds", type=int, default=32)
+    parser.add_argument("--vantages", type=int, default=10)
+    parser.add_argument("--futures", type=int, default=20)
+    parser.add_argument("--samples", type=int, default=10)
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args()
+
+    print(f"building ecosystem: {args.domains} domains, seed {args.seed} ...")
+    build_started = time.perf_counter()
+    world = WebEcosystem.build(
+        EcosystemConfig(domain_count=args.domains, seed=args.seed)
+    )
+    topology = world.topology
+    as_count = len(list(topology.asns()))
+    enforcing = seeded_enforcers(topology, seed=args.seed)
+    build_seconds = time.perf_counter() - build_started
+    print(f"  built in {build_seconds:.2f}s: {as_count} ASes, "
+          f"{len(enforcing)} enforcing")
+
+    spec = ExperimentSpec(
+        rounds=args.rounds, vantage_count=args.vantages, seed=args.seed
+    )
+    runner = RovExperimentRunner(topology, enforcing, spec)
+    print(f"classifying: {args.rounds} rounds x {args.vantages} vantages ...")
+    experiment_started = time.perf_counter()
+    report = runner.run()
+    experiment_seconds = time.perf_counter() - experiment_started
+    classifications = len(report.verdicts)
+    classifications_per_second = (
+        classifications / experiment_seconds if experiment_seconds else 0.0
+    )
+    print(f"  {experiment_seconds:.2f}s "
+          f"({classifications_per_second:.1f} classifications/s), "
+          f"snippet {report.snippet_line(enforcing)}")
+
+    futures = named_futures(world) + sample_futures(
+        world, args.futures, seed=args.seed
+    )
+    engine = WhatIfEngine(world, hijack_samples=args.samples, seed=args.seed)
+    print(f"scoring {len(futures)} adoption futures ...")
+    whatif_started = time.perf_counter()
+    deltas = engine.run_futures(futures)
+    whatif_seconds = time.perf_counter() - whatif_started
+    futures_per_second = (
+        len(deltas) / whatif_seconds if whatif_seconds else 0.0
+    )
+    print(f"  {whatif_seconds:.2f}s ({futures_per_second:.1f} futures/s)")
+
+    print("replaying both from scratch ...")
+    replay_report = RovExperimentRunner(topology, enforcing, spec).run()
+    replay_engine = WhatIfEngine(
+        world, hijack_samples=args.samples, seed=args.seed
+    )
+    replay_deltas = replay_engine.run_futures(futures)
+    identical = (
+        replay_report.digest == report.digest
+        and [d.to_dict() for d in replay_deltas]
+        == [d.to_dict() for d in deltas]
+    )
+
+    record = {
+        "domains": args.domains,
+        "seed": args.seed,
+        "ases": as_count,
+        "rounds": args.rounds,
+        "vantages": args.vantages,
+        "futures": len(futures),
+        "hijack_samples": args.samples,
+        "build_seconds": round(build_seconds, 3),
+        "experiment_seconds": round(experiment_seconds, 3),
+        "whatif_seconds": round(whatif_seconds, 3),
+        "classifications_per_second": round(classifications_per_second, 3),
+        "futures_per_second": round(futures_per_second, 3),
+        "enforcing_found": report.histogram()["enforcing"],
+        "false_positives": len(report.false_positives(enforcing)),
+        "verdict_digest": report.digest,
+        "replay_identical": identical,
+    }
+    Path(args.out).write_text(json.dumps(record, indent=1) + "\n")
+    print(
+        f"wrote {args.out}: {classifications_per_second:.1f} "
+        f"classifications/s, {futures_per_second:.1f} futures/s "
+        f"({'identical' if identical else 'MISMATCH'} replay)"
+    )
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -134,6 +134,17 @@ BENCHES = (
         ),
     ),
     BenchSpec(
+        "BENCH_rov.json",
+        (
+            MetricSpec("build_seconds", "time", TIME_TOLERANCE),
+            MetricSpec("experiment_seconds", "time", TIME_TOLERANCE),
+            MetricSpec("whatif_seconds", "time", TIME_TOLERANCE),
+            MetricSpec("classifications_per_second", "ratio",
+                       RATIO_TOLERANCE),
+            MetricSpec("futures_per_second", "ratio", RATIO_TOLERANCE),
+        ),
+    ),
+    BenchSpec(
         "BENCH_obs.json",
         (
             # The whole golden suite's wall time, gated generously:

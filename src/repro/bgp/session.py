@@ -52,7 +52,13 @@ class BGPSpeaker:
     def __init__(self, asn: ASN, topology: ASTopology):
         self.asn = asn
         self._topology = topology
-        self._neighbors = topology.neighbors(asn)
+        # Canonical (ASN-sorted) adjacency: the topology's dict is in
+        # edge-insertion order, and _export iterates it, so without the
+        # sort the emitted message sequence — and every downstream
+        # trace — would depend on how the graph was constructed.
+        self._neighbors = dict(
+            sorted(topology.neighbors(asn).items(), key=lambda kv: int(kv[0]))
+        )
         # adj_rib_in[prefix][neighbor] = path as received.
         self.adj_rib_in: Dict[Prefix, Dict[ASN, ASPath]] = {}
         self.loc_rib: Dict[Prefix, RibEntry] = {}
@@ -73,8 +79,11 @@ class BGPSpeaker:
         self.payloads = payloads
         self.enforcing = enforcing
         outgoing: List[UpdateMessage] = []
+        # Sorted, not set order: Prefix hashes include the class object
+        # (id-based), so set iteration order varies across interpreter
+        # runs — sorting keeps revalidation message order reproducible.
         prefixes = set(self.adj_rib_in) | set(self.loc_rib) | set(self.originated)
-        for prefix in prefixes:
+        for prefix in sorted(prefixes):
             outgoing.extend(self._decide(prefix))
         return outgoing
 

@@ -284,6 +284,38 @@ def build_parser() -> argparse.ArgumentParser:
                             "ledger as JSON to FILE")
     world.add_argument("--metrics-out", metavar="FILE", default=None,
                        help="write Prometheus text metrics to FILE")
+
+    rov = sub.add_parser(
+        "rov",
+        parents=[executor, telemetry],
+        help="infer per-AS ROV enforcement from seeded anchor/"
+             "experiment announcement pairs, then score adoption "
+             "futures with the what-if counterfactual engine",
+    )
+    rov.add_argument("--domains", type=int, default=600,
+                     help="ecosystem size backing the what-if funnel")
+    rov.add_argument("--seed", type=int, default=2015,
+                     help="seed for the ecosystem, the ground-truth "
+                          "deployment, and every experiment round")
+    rov.add_argument("--rounds", type=int, default=48,
+                     help="anchor/experiment announcement rounds")
+    rov.add_argument("--vantages", type=int, default=10,
+                     help="vantage points sampled per round")
+    rov.add_argument("--enforce-scale", type=float, default=1.0,
+                     help="multiplier on the role-dependent ground-"
+                          "truth enforcement rates")
+    rov.add_argument("--futures", type=int, default=8,
+                     help="sampled adoption futures scored in addition "
+                          "to the three named scenarios")
+    rov.add_argument("--samples", type=int, default=12,
+                     help="seeded hijack cases replayed per future")
+    rov.add_argument("--json", metavar="FILE", nargs="?", const="-",
+                     default=None,
+                     help="write the full summary as JSON to FILE "
+                          "(bare --json: JSON on stdout, tables on "
+                          "stderr)")
+    rov.add_argument("--metrics-out", metavar="FILE", default=None,
+                     help="write Prometheus text metrics to FILE")
     return parser
 
 
@@ -962,6 +994,104 @@ def run_world(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_rov(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.rov import (
+        ExperimentSpec,
+        RovExperimentRunner,
+        WhatIfEngine,
+        future_census,
+        named_futures,
+        sample_futures,
+        seeded_enforcers,
+    )
+
+    json_to_stdout = args.json == "-"
+    out = sys.stderr if json_to_stdout else sys.stdout
+
+    def say(*parts) -> None:
+        print(*parts, file=out)
+
+    telemetry_on = args.telemetry_port is not None
+    observe = bool(args.metrics_out or telemetry_on)
+    registry = None
+    telemetry = None
+    if observe:
+        registry, _collector = obs.enable()
+    try:
+        if telemetry_on:
+            telemetry = _start_telemetry(args)
+        say(f"building ecosystem: {args.domains} domains, "
+            f"seed {args.seed} ...")
+        world = WebEcosystem.build(
+            EcosystemConfig(domain_count=args.domains, seed=args.seed)
+        )
+        topology = world.topology
+        as_count = len(list(topology.asns()))
+        enforcing = seeded_enforcers(
+            topology, seed=args.seed, scale=args.enforce_scale
+        )
+        spec = ExperimentSpec(
+            rounds=args.rounds, vantage_count=args.vantages, seed=args.seed
+        )
+        runner = RovExperimentRunner(topology, enforcing, spec)
+        started = time.time()
+        report = runner.run(mode=args.exec_mode, workers=args.workers)
+        say(f"  campaign: {spec.rounds} rounds x {spec.vantage_count} "
+            f"vantages over {as_count} ASes "
+            f"({len(enforcing)} truly enforcing) "
+            f"in {time.time() - started:.1f}s")
+        say(f"  snippet: {report.snippet_line(enforcing)} "
+            f"(vantage obs|non-rov|candidates|enforcers|false positives)")
+
+        futures = named_futures(world)
+        if args.futures > 0:
+            futures += sample_futures(world, args.futures, seed=args.seed)
+        engine = WhatIfEngine(
+            world, hijack_samples=args.samples, seed=args.seed
+        )
+        started = time.time()
+        deltas = engine.run_futures(
+            futures, mode=args.exec_mode, workers=args.workers
+        )
+        say(f"  what-if: {len(deltas)} futures x "
+            f"{args.samples} hijack replays in {time.time() - started:.1f}s")
+
+        summary = {
+            "seed": args.seed,
+            "domains": args.domains,
+            "ases": as_count,
+            "true_enforcing": len(enforcing),
+            "experiment": report.to_dict(),
+            "baseline": engine.baseline().to_dict(),
+            "futures": [delta.to_dict() for delta in deltas],
+            "census": future_census(futures),
+        }
+        say(f"\n== ROV ({as_count} ASes, {len(deltas)} futures) ==")
+        say(obs.rov_report(summary))
+        if args.json:
+            if json_to_stdout:
+                json.dump(summary, sys.stdout, indent=1, sort_keys=True)
+                sys.stdout.write("\n")
+            else:
+                with open(args.json, "w") as handle:
+                    json.dump(summary, handle, indent=1, sort_keys=True)
+                    handle.write("\n")
+                say(f"  summary: {args.json}")
+        if observe and args.metrics_out:
+            size = registry.write_prometheus(args.metrics_out)
+            say(f"  metrics: {args.metrics_out} ({size} bytes)")
+        _finish_telemetry(telemetry, args.telemetry_linger)
+        telemetry = None
+    finally:
+        _finish_telemetry(telemetry, 0.0)
+        if observe:
+            obs.disable()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -978,6 +1108,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_rtrd(args)
     if args.command == "world":
         return run_world(args)
+    if args.command == "rov":
+        return run_rov(args)
     return 1
 
 

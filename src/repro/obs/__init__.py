@@ -55,6 +55,7 @@ from repro.obs.report import (
     cache_report,
     degradation_report,
     profile_report,
+    rov_report,
     rtrd_report,
     serve_report,
     stage_timing_report,
@@ -144,6 +145,7 @@ __all__ = [
     "timing_summary",
     "timing_table",
     "tracer",
+    "rov_report",
     "world_report",
     "write_timing_summary",
 ]

@@ -232,6 +232,71 @@ def world_report(summary: Mapping[str, object]) -> str:
     return "\n".join(lines)
 
 
+def rov_report(summary: Mapping[str, object], top: int = 10) -> str:
+    """Render an ROV campaign + what-if sweep as verdict/delta tables.
+
+    ``summary`` is the plain-dict payload ``ripki rov`` assembles
+    (experiment ``RovReport.to_dict()`` plus a list of
+    ``ExposureDelta.to_dict()`` rows) — values, not engines.
+    """
+    lines = []
+    experiment = summary.get("experiment") or {}
+    if experiment:
+        histogram = experiment.get("histogram", {})
+        table = TextTable(["verdict", "ASes"])
+        for verdict in sorted(histogram):
+            table.add_row(verdict, histogram[verdict])
+        lines.append(table.render())
+        annotations = experiment.get("annotations", {})
+        if annotations:
+            from repro.rov.annotation import ANNOTATION_NAMES
+
+            table = TextTable(["code", "annotation", "routes"])
+            for code in sorted(annotations, key=int):
+                table.add_row(
+                    code,
+                    ANNOTATION_NAMES.get(int(code), "?"),
+                    annotations[code],
+                )
+            lines.append(table.render())
+        lines.append(
+            f"campaign: {experiment.get('rounds', 0)} rounds, "
+            f"{experiment.get('vantage_observations', 0)} vantage "
+            f"observations, snippet {experiment.get('snippet', '?')}"
+        )
+        lines.append(f"verdict digest: {experiment.get('digest', '?')}")
+    futures = summary.get("futures") or []
+    if futures:
+        # Largest hijack-exposure improvements first: the rows that
+        # answer "which adoption step buys the most protection?".
+        ranked = sorted(
+            futures,
+            key=lambda row: row["deltas"]["hijack_capture_mean"],
+        )
+        table = TextTable(
+            ["future", "sign", "enforce", "d valid", "d invalid",
+             "d rpki share", "d capture", "d blocked"]
+        )
+        for row in ranked[:top]:
+            deltas = row["deltas"]
+            table.add_row(
+                row["future"],
+                row["signing_orgs"],
+                row["enforcing_count"],
+                f"{deltas['valid_fraction']:+.4f}",
+                f"{deltas['invalid_fraction']:+.4f}",
+                f"{deltas['rpki_enabled_share']:+.4f}",
+                f"{deltas['hijack_capture_mean']:+.4f}",
+                f"{deltas['hijack_blocked_share']:+.4f}",
+            )
+        lines.append(table.render())
+        if len(futures) > top:
+            lines.append(
+                f"({len(futures) - top} more futures not shown)"
+            )
+    return "\n".join(lines)
+
+
 def profile_report(report, top: int = 15) -> str:
     """Render a :class:`~repro.obs.profile.ProfileReport` top-N table.
 

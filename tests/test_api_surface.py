@@ -13,6 +13,7 @@ PUBLIC_MODULES = [
     "repro.faults",
     "repro.obs",
     "repro.registry",
+    "repro.rov",
     "repro.rpki",
     "repro.rtrd",
     "repro.world",

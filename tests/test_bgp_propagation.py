@@ -252,3 +252,118 @@ class TestGeneratedTopology:
         for asn, entry in state.routes_for(P("10.0.0.0/16")).items():
             asns = [int(a) for a in entry.path]
             assert len(asns) == len(set(asns)), f"loop in {entry.path}"
+
+
+class TestAdjacencyOrderIndependence:
+    """Re-runs must not depend on dict iteration order of adjacency.
+
+    The topology's per-AS adjacency is a dict in edge-insertion order.
+    Inserting the same edges in a different (seeded) permutation must
+    yield bit-identical converged state from both the algebraic engine
+    and the message-passing simulator — the ROV experiment layer
+    replays propagation thousands of times and any order sensitivity
+    would poison its verdict digests.
+    """
+
+    @staticmethod
+    def _edge_list(rng):
+        topo = ASTopology.generate(
+            DeterministicRNG(11), transit=10, eyeballs=12, hosters=10, stubs=12
+        )
+        nodes = [(n.asn, n.name, n.role, n.organisation) for n in topo.ases()]
+        edges = []
+        seen = set()
+        for a in topo.asns():
+            for b, rel in topo.neighbors(a).items():
+                key = tuple(sorted((int(a), int(b))))
+                if key in seen:
+                    continue
+                seen.add(key)
+                if rel.name == "PEER":
+                    edges.append(("peer", a, b))
+                elif rel.name == "PROVIDER":
+                    edges.append(("provider", a, b))  # a buys from b
+                else:
+                    edges.append(("provider", b, a))
+        if rng is not None:
+            rng.shuffle(nodes)
+            rng.shuffle(edges)
+        return nodes, edges
+
+    @staticmethod
+    def _build(nodes, edges):
+        topo = ASTopology()
+        for asn, name, role, organisation in nodes:
+            topo.add_as(asn, name=name, role=role, organisation=organisation)
+        for kind, a, b in edges:
+            if kind == "peer":
+                topo.add_peering(a, b)
+            else:
+                topo.add_provider(a, b)
+        return topo
+
+    def _announcements(self, topo):
+        origins = sorted(topo.asns(), key=int)[:6]
+        return [
+            Announcement.make(f"10.{i}.0.0/16", origin)
+            for i, origin in enumerate(origins)
+        ]
+
+    def test_engine_state_invariant_under_edge_permutation(self):
+        reference_nodes, reference_edges = self._edge_list(None)
+        reference = self._build(reference_nodes, reference_edges)
+        announcements = self._announcements(reference)
+        expected = PropagationEngine(reference).propagate(announcements)
+        for seed in range(5):
+            nodes, edges = self._edge_list(DeterministicRNG(f"perm:{seed}"))
+            permuted = self._build(nodes, edges)
+            state = PropagationEngine(permuted).propagate(announcements)
+            for announcement in announcements:
+                prefix = announcement.prefix
+                got = state.routes_for(prefix)
+                want = expected.routes_for(prefix)
+                assert sorted(got) == sorted(want)
+                for asn in want:
+                    assert got[asn] == want[asn], (seed, asn)
+
+    def test_session_simulator_invariant_under_edge_permutation(self):
+        from repro.bgp.session import SessionSimulator
+
+        reference_nodes, reference_edges = self._edge_list(None)
+        reference = self._build(reference_nodes, reference_edges)
+        announcements = self._announcements(reference)
+
+        def converge(topo):
+            sim = SessionSimulator(topo)
+            for announcement in announcements:
+                sim.announce(announcement)
+            sim.run()
+            state = sim.routing_state()
+            return {
+                prefix: sorted(
+                    (int(asn), tuple(int(a) for a in entry.path))
+                    for asn, entry in state.routes_for(prefix).items()
+                )
+                for prefix in state.prefixes()
+            }
+
+        expected = converge(reference)
+        for seed in range(3):
+            nodes, edges = self._edge_list(DeterministicRNG(f"sim:{seed}"))
+            assert converge(self._build(nodes, edges)) == expected
+
+    def test_rov_experiment_digest_invariant_under_edge_permutation(self):
+        from repro.rov import ExperimentSpec, RovExperimentRunner, \
+            seeded_enforcers, topology_digest
+
+        reference_nodes, reference_edges = self._edge_list(None)
+        reference = self._build(reference_nodes, reference_edges)
+        spec = ExperimentSpec(rounds=12, vantage_count=8, seed=11)
+        enforcing = seeded_enforcers(reference, seed=11)
+        expected = RovExperimentRunner(reference, enforcing, spec).run()
+        for seed in range(3):
+            nodes, edges = self._edge_list(DeterministicRNG(f"rov:{seed}"))
+            permuted = self._build(nodes, edges)
+            assert topology_digest(permuted) == topology_digest(reference)
+            report = RovExperimentRunner(permuted, enforcing, spec).run()
+            assert report.digest == expected.digest

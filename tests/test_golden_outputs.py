@@ -10,7 +10,10 @@ byte-for-byte under ``tests/goldens/``:
   durations, so the text is deterministic),
 * ``stage_timings.txt`` — the stage-timing table reduced to its
   deterministic cells (span names, counts, error counts; the time
-  columns vary by machine).
+  columns vary by machine),
+* ``rov_whatif.json`` — the ROV campaign's verdict histogram and
+  replay digest plus the exposure deltas of the three named adoption
+  futures (``cdn-top5-sign``, ``tier1-enforce``, ``full-rov``).
 
 Regenerate after an intentional output change with::
 
@@ -90,12 +93,49 @@ def _observed_artifacts():
     return metrics_text, timings_text
 
 
+def _rov_artifact() -> str:
+    import json
+
+    from repro.rov import (
+        ExperimentSpec,
+        RovExperimentRunner,
+        WhatIfEngine,
+        named_futures,
+        seeded_enforcers,
+    )
+
+    world = WebEcosystem.build(
+        EcosystemConfig(domain_count=DOMAINS, seed=SEED)
+    )
+    enforcing = seeded_enforcers(world.topology, seed=SEED)
+    spec = ExperimentSpec(rounds=24, vantage_count=8, seed=SEED)
+    report = RovExperimentRunner(world.topology, enforcing, spec).run()
+    engine = WhatIfEngine(world, hijack_samples=10, seed=SEED)
+    payload = {
+        "experiment": {
+            "digest": report.digest,
+            "histogram": report.histogram(),
+            "annotations": {
+                str(code): count
+                for code, count in sorted(report.annotations.items())
+            },
+            "snippet": report.snippet_line(enforcing),
+        },
+        "futures": {
+            delta.future: delta.to_dict()
+            for delta in engine.run_futures(named_futures(world))
+        },
+    }
+    return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+
 def _generate_all():
     metrics_text, timings_text = _observed_artifacts()
     return {
         "run_stdout.txt": _cli_stdout(),
         "metrics.prom": metrics_text,
         "stage_timings.txt": timings_text,
+        "rov_whatif.json": _rov_artifact(),
     }
 
 
@@ -106,7 +146,9 @@ def generated():
 
 class TestGoldenOutputs:
     @pytest.mark.parametrize(
-        "name", ["run_stdout.txt", "metrics.prom", "stage_timings.txt"]
+        "name",
+        ["run_stdout.txt", "metrics.prom", "stage_timings.txt",
+         "rov_whatif.json"],
     )
     def test_matches_golden(self, generated, name):
         path = GOLDEN_DIR / name
