@@ -1,0 +1,115 @@
+"""Worker-scheduler benchmark: dispatch overhead and fault recovery.
+
+Builds one world, measures the study serially and through the
+``workers`` backend (long-lived forked workers, length-prefixed JSON
+frames, work stealing), verifies bit-identity, then repeats the
+workers run under an injected worker-crash plan to price straggler
+re-dispatch.  Records everything in ``BENCH_jobs.json``::
+
+    PYTHONPATH=src python benchmarks/bench_jobs.py --domains 20000 --workers 4
+
+As with ``bench_parallel.py``, the speedup column only means anything
+with at least ``--workers`` cores; ``cpu_count`` rides along so the
+regression gate can skip the assertion on starved runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core import MeasurementStudy, RunConfig
+from repro.faults import WORKER_CRASH, FaultPlan, RetryPolicy
+from repro.web import EcosystemConfig, WebEcosystem
+
+DEFAULT_OUT = Path(__file__).parent / "BENCH_jobs.json"
+
+
+def measure(study: MeasurementStudy, config: RunConfig = None):
+    started = time.perf_counter()
+    result = study.run(config=config)
+    return result, time.perf_counter() - started
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--domains", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--shard-size", type=int, default=None)
+    parser.add_argument("--crash-rate", type=float, default=0.2,
+                        help="per-attempt worker-crash probability for "
+                             "the fault-recovery leg")
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args()
+
+    print(f"building world: {args.domains} domains, seed {args.seed} ...")
+    build_started = time.perf_counter()
+    world = WebEcosystem.build(
+        EcosystemConfig(domain_count=args.domains, seed=args.seed)
+    )
+    build_seconds = time.perf_counter() - build_started
+    study = MeasurementStudy.from_ecosystem(world)
+
+    print("serial run ...")
+    serial_result, serial_seconds = measure(study)
+    print(f"  {serial_seconds:.2f}s")
+
+    print(f"workers run: {args.workers} workers ...")
+    workers_result, workers_seconds = measure(
+        study,
+        RunConfig(workers=args.workers, mode="workers",
+                  shard_size=args.shard_size),
+    )
+    report = workers_result.scheduler_report
+    print(f"  {workers_seconds:.2f}s  "
+          f"({report.jobs_total} jobs, {report.stolen} stolen)")
+
+    print(f"faulted workers run: crash rate {args.crash_rate} ...")
+    plan = FaultPlan.from_rates(
+        {WORKER_CRASH: args.crash_rate}, seed=args.seed, max_consecutive=2
+    )
+    faulted_result, faulted_seconds = measure(
+        study,
+        RunConfig(workers=args.workers, mode="workers",
+                  shard_size=args.shard_size, faults=plan,
+                  retry=RetryPolicy(max_attempts=4)),
+    )
+    faulted = faulted_result.scheduler_report
+    print(f"  {faulted_seconds:.2f}s  "
+          f"({faulted.worker_deaths} deaths, "
+          f"{faulted.redispatched} re-dispatched)")
+
+    identical = (workers_result == serial_result
+                 and faulted_result == serial_result)
+    speedup = serial_seconds / workers_seconds if workers_seconds else 0.0
+    record = {
+        "domains": args.domains,
+        "seed": args.seed,
+        "workers": args.workers,
+        "cpu_count": os.cpu_count(),
+        "crash_rate": args.crash_rate,
+        "build_seconds": round(build_seconds, 3),
+        "serial_seconds": round(serial_seconds, 3),
+        "workers_seconds": round(workers_seconds, 3),
+        "faulted_seconds": round(faulted_seconds, 3),
+        "speedup": round(speedup, 3),
+        "jobs_per_second": round(
+            report.jobs_total / workers_seconds, 3
+        ) if workers_seconds else 0.0,
+        "scheduler": report.to_dict(),
+        "faulted_scheduler": faulted.to_dict(),
+        "results_identical": identical,
+    }
+    Path(args.out).write_text(json.dumps(record, indent=1) + "\n")
+    print(f"wrote {args.out}: speedup {speedup:.2f}x "
+          f"({'identical' if identical else 'MISMATCH'} results, "
+          f"{os.cpu_count()} cores)")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,7 +38,7 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=2015)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--mode", default="process",
-                        choices=["serial", "thread", "process"])
+                        choices=["serial", "thread", "process", "workers"])
     parser.add_argument("--shard-size", type=int, default=None)
     parser.add_argument("--out", default=str(DEFAULT_OUT))
     parser.add_argument("--profile", action="store_true",

@@ -46,6 +46,22 @@ TIME_TOLERANCE = 0.5
 RATIO_TOLERANCE = 0.3
 
 
+def _needs_real_cores(record: dict) -> Optional[str]:
+    """Skip reason for parallel-speedup metrics on starved runners.
+
+    A 1-core CI box cannot speed anything up; asserting ``speedup > 1``
+    there would either always fail or force a sub-1.0 baseline that
+    hides real regressions on capable machines.
+    """
+    cores = record.get("cpu_count")
+    workers = record.get("workers")
+    if not isinstance(cores, int) or not isinstance(workers, int):
+        return "cpu_count/workers not recorded"
+    if cores < workers:
+        return f"only {cores} cores for {workers} workers"
+    return None
+
+
 @dataclass(frozen=True)
 class MetricSpec:
     """One gated metric inside one ``BENCH_*.json`` record."""
@@ -53,6 +69,13 @@ class MetricSpec:
     path: str                      # dotted path into the record
     kind: str                      # "time" (lower better) | "ratio" (higher)
     tolerance: float
+    # Absolute minimum for ratio metrics, enforced on top of the
+    # relative limit (a 1-core baseline must not grandfather a
+    # below-1.0 speedup onto multicore runners).
+    floor: Optional[float] = None
+    # Callable returning a skip reason when this metric is not
+    # meaningful in the current environment, else None.
+    guard: Optional[Callable[[dict], Optional[str]]] = None
 
     def extract(self, record: dict) -> Optional[float]:
         node = record
@@ -98,6 +121,19 @@ BENCHES = (
             MetricSpec("serial_seconds", "time", TIME_TOLERANCE),
             MetricSpec("parallel_seconds", "time", TIME_TOLERANCE),
             MetricSpec("build_seconds", "time", TIME_TOLERANCE),
+            MetricSpec("speedup", "ratio", RATIO_TOLERANCE, floor=1.0,
+                       guard=_needs_real_cores),
+        ),
+    ),
+    BenchSpec(
+        "BENCH_jobs.json",
+        (
+            MetricSpec("serial_seconds", "time", TIME_TOLERANCE),
+            MetricSpec("workers_seconds", "time", TIME_TOLERANCE),
+            MetricSpec("faulted_seconds", "time", TIME_TOLERANCE),
+            MetricSpec("jobs_per_second", "ratio", RATIO_TOLERANCE),
+            MetricSpec("speedup", "ratio", RATIO_TOLERANCE, floor=1.0,
+                       guard=_needs_real_cores),
         ),
     ),
     BenchSpec(
@@ -174,10 +210,19 @@ class Verdict:
 
 
 def compare(
-    baseline: dict, current: dict, spec: BenchSpec, inject: float
+    baseline: dict, current: dict, spec: BenchSpec, inject: float,
+    skipped: Optional[List[str]] = None,
 ) -> List[Verdict]:
     verdicts: List[Verdict] = []
     for metric in spec.metrics:
+        if metric.guard is not None:
+            reason = metric.guard(current)
+            if reason is not None:
+                if skipped is not None:
+                    skipped.append(
+                        f"{spec.filename}:{metric.path} ({reason})"
+                    )
+                continue
         base_value = metric.extract(baseline)
         if base_value is None:
             continue  # metric not tracked in this baseline snapshot
@@ -195,6 +240,8 @@ def compare(
         else:
             cur_value /= inject
             limit = base_value * (1.0 - metric.tolerance)
+            if metric.floor is not None:
+                limit = max(limit, metric.floor)
             ok = cur_value >= limit or base_value == 0.0
         verdicts.append(
             Verdict(spec.filename, metric.path, metric.kind,
@@ -227,7 +274,9 @@ def main() -> int:
             side = "baseline" if baseline is None else "current"
             skipped.append(f"{spec.filename} (no {side} record)")
             continue
-        verdicts.extend(compare(baseline, current, spec, args.inject_factor))
+        verdicts.extend(
+            compare(baseline, current, spec, args.inject_factor, skipped)
+        )
 
     width = max((len(f"{v.bench}:{v.metric}") for v in verdicts), default=20)
     for v in verdicts:

@@ -58,17 +58,25 @@ def _exec_parent() -> argparse.ArgumentParser:
     """Shared sharded-executor flag group (argparse parent)."""
     parent = argparse.ArgumentParser(add_help=False)
     group = parent.add_argument_group("execution")
-    group.add_argument("--workers", type=int, default=1,
+    group.add_argument("--workers", "--num-workers", type=int, default=1,
                        help="worker count for the sharded executor "
                             "(1 = classic serial loop)")
     group.add_argument("--exec-mode",
-                       choices=["auto", "serial", "thread", "process"],
+                       choices=["auto", "serial", "thread", "process",
+                                "workers"],
                        default="auto",
                        help="sharded-executor backend (auto: process "
-                            "pool when --workers > 1)")
+                            "pool when --workers > 1; workers: "
+                            "long-lived framed worker processes with "
+                            "work-stealing and straggler re-dispatch)")
     group.add_argument("--shard-size", type=int, default=None,
                        help="domains per shard (default: scaled to "
                             "workers)")
+    group.add_argument("--job-deadline", type=float, default=None,
+                       metavar="SEC",
+                       help="per-job deadline for --exec-mode workers; "
+                            "an unanswered job is re-dispatched to "
+                            "another worker after SEC seconds")
     return parent
 
 
@@ -316,6 +324,21 @@ def build_parser() -> argparse.ArgumentParser:
                           "stderr)")
     rov.add_argument("--metrics-out", metavar="FILE", default=None,
                      help="write Prometheus text metrics to FILE")
+
+    worker = sub.add_parser(
+        "worker",
+        parents=[faults],
+        help="serve the framed job protocol over stdin/stdout: build "
+             "a world, announce its input digests, then answer "
+             "JobSpec frames with JobResult frames until EOF (the "
+             "transport a remote scheduler drives over any byte pipe)",
+    )
+    worker.add_argument("--domains", type=int, default=20_000,
+                        help="population size (must match the driving "
+                             "scheduler's world)")
+    worker.add_argument("--seed", type=int, default=2015)
+    worker.add_argument("--worker-id", type=int, default=0,
+                        help="identity stamped on every frame")
     return parser
 
 
@@ -405,6 +428,7 @@ def run_study(args: argparse.Namespace) -> int:
             faults=faults,
             progress=progress,
             cache=CacheConfig(args.cache_dir) if args.cache_dir else None,
+            job_deadline_s=args.job_deadline,
         )
         study = MeasurementStudy.from_ecosystem(world)
         result = study.run(config=config)
@@ -438,12 +462,21 @@ def run_study(args: argparse.Namespace) -> int:
                 s.cache_invalidated_by_stage,
             ))
 
+        dispatch = result.scheduler_report
+        if dispatch is not None and dispatch.backend == "workers":
+            print("\n== Job scheduler ==")
+            print(obs.scheduler_report(dispatch.to_dict()))
+
         _render_figures(args, wanted, world, result)
 
         if observe:
             print("\n== Stage timings ==")
             print(obs.stage_timing_report(collector))
             if args.metrics_out:
+                if dispatch is not None and dispatch.backend == "workers":
+                    # Explicit export only: the study registry stays
+                    # byte-identical to serial unless asked.
+                    dispatch.to_metrics(registry)
                 size = registry.write_prometheus(args.metrics_out)
                 print(f"  metrics: {args.metrics_out} ({size} bytes)")
             if args.trace_out:
@@ -917,6 +950,7 @@ def run_world(args: argparse.Namespace) -> int:
             ),
             faults=faults,
             cache=CacheConfig(cache_dir),
+            job_deadline_s=getattr(args, "job_deadline", None),
         )
         continuous = ContinuousStudy(study, config)
         daemon = RTRDaemon()
@@ -1092,6 +1126,43 @@ def run_rov(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_worker(args: argparse.Namespace) -> int:
+    """``ripki worker``: the stdio side of the framed job protocol.
+
+    Frames own stdout, so all human-readable chatter goes to stderr.
+    A driving scheduler on the other end of the pipe compares the
+    hello frame's digests with its own before dispatching; a job
+    whose digests still mismatch is refused with a typed error frame.
+    """
+    from repro.exec.worker import serve_stdio
+
+    print(
+        f"building world: {args.domains} domains, seed {args.seed} ...",
+        file=sys.stderr,
+    )
+    world = WebEcosystem.build(
+        EcosystemConfig(domain_count=args.domains, seed=args.seed)
+    )
+    faults = None
+    if args.fault_profile:
+        faults = FaultPlan.from_profile(args.fault_profile, seed=args.seed)
+    config = RunConfig(
+        retry=RetryPolicy(
+            max_attempts=args.retries, backoff_base=args.retry_backoff
+        ),
+        faults=faults,
+    )
+    study = MeasurementStudy.from_ecosystem(world)
+    print(
+        f"worker {args.worker_id}: serving job frames on stdio",
+        file=sys.stderr,
+    )
+    answered = serve_stdio(study, config, worker_id=args.worker_id)
+    print(f"worker {args.worker_id}: {answered} jobs answered",
+          file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -1110,6 +1181,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_world(args)
     if args.command == "rov":
         return run_rov(args)
+    if args.command == "worker":
+        return run_worker(args)
     return 1
 
 

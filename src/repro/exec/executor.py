@@ -19,7 +19,8 @@ bit-identical to the serial run:
 * **trace spans** — per-shard collectors are grafted under the run's
   root span via :meth:`TraceCollector.absorb`.
 
-Three backends share one shard-runner code path:
+Four backends share one shard-runner code path, dispatched through
+the pluggable schedulers of :mod:`repro.exec.scheduler`:
 
 * ``process`` — :class:`concurrent.futures.ProcessPoolExecutor`,
   true parallelism; the study (resolver, table dump, payloads) is
@@ -29,14 +30,16 @@ Three backends share one shard-runner code path:
   the pure-Python funnel, so this backend exists for determinism
   tests and for a future IO-bound (live DNS) resolver,
 * ``serial`` — the shard pipeline on the calling thread, for
-  debugging the sharded path itself.
+  debugging the sharded path itself,
+* ``workers`` — N long-lived forked worker processes speaking the
+  length-prefixed JSON job protocol (:mod:`repro.exec.jobs`) with
+  work-stealing, per-job deadlines, and straggler re-dispatch.
 
 ``auto`` resolves to ``process`` when ``workers > 1``.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import sys
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
@@ -55,8 +58,6 @@ from repro.core.pipeline import (
 )
 from repro.core.records import DomainMeasurement
 from repro.exec.codec import (
-    decode_measurements,
-    decode_statistics,
     encode_measurements,
     encode_statistics,
 )
@@ -315,18 +316,12 @@ def execute_study(
         with trace.span("stage.rank", domains=len(study.ranking)):
             domains = list(study.ranking)
         shards = plan_shards(domains, shard_size=shard_size, workers=workers)
-        if resolved == "serial":
-            outcomes = _run_serial(
-                study, shards, observe, ticker, config, session
-            )
-        elif resolved == "thread":
-            outcomes = _run_threaded(
-                study, shards, observe, workers, ticker, config, session
-            )
-        else:
-            outcomes = _run_processes(
-                study, shards, observe, workers, ticker, config, session
-            )
+        from repro.exec.scheduler import scheduler_for
+
+        scheduler = scheduler_for(resolved, config)
+        outcomes, scheduler_report = scheduler.run(
+            study, shards, observe, ticker, session
+        )
         outcomes.sort(key=lambda outcome: outcome.index)
         measurements = [
             measurement
@@ -352,7 +347,9 @@ def execute_study(
                 )
     if reporter is not None:
         reporter.done()
-    return StudyResult(measurements, stats)
+    result = StudyResult(measurements, stats)
+    result.scheduler_report = scheduler_report
+    return result
 
 
 def _make_reporter(
@@ -365,74 +362,3 @@ def _make_reporter(
     return ProgressReporter(total=total, callback=progress)
 
 
-def _run_serial(
-    study, shards, observe, ticker, config, session=None
-) -> List[ShardOutcome]:
-    outcomes = []
-    for shard in shards:
-        outcomes.append(run_shard(study, shard, observe, config, session))
-        ticker(shard)
-    return outcomes
-
-
-def _run_threaded(
-    study, shards, observe, workers, ticker, config, session=None
-) -> List[ShardOutcome]:
-    outcomes: List[ShardOutcome] = []
-    with concurrent.futures.ThreadPoolExecutor(
-        max_workers=workers, thread_name_prefix="ripki-shard"
-    ) as pool:
-        futures = {
-            pool.submit(
-                run_shard, study, shard, observe, config, session
-            ): shard
-            for shard in shards
-        }
-        for future in concurrent.futures.as_completed(futures):
-            outcomes.append(future.result())
-            ticker(futures[future])
-    return outcomes
-
-
-def _run_processes(
-    study, shards, observe, workers, ticker, config, session=None
-) -> List[ShardOutcome]:
-    previous_limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(previous_limit, _PICKLE_RECURSION_LIMIT))
-    outcomes: List[ShardOutcome] = []
-    shipped = config.without_progress() if config is not None else None
-    try:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_process_worker,
-            initargs=(study, observe, shipped, session),
-        ) as pool:
-            futures = {
-                pool.submit(_process_shard, shard): shard for shard in shards
-            }
-            for future in concurrent.futures.as_completed(futures):
-                shard = futures[future]
-                (
-                    index,
-                    encoded,
-                    stats,
-                    registry,
-                    spans,
-                    dropped,
-                    cache_entries,
-                ) = future.result()
-                outcomes.append(
-                    ShardOutcome(
-                        index=index,
-                        measurements=decode_measurements(encoded, shard.domains),
-                        statistics=decode_statistics(stats),
-                        metrics=registry,
-                        spans=spans,
-                        dropped_spans=dropped,
-                        cache_entries=cache_entries,
-                    )
-                )
-                ticker(shard)
-    finally:
-        sys.setrecursionlimit(previous_limit)
-    return outcomes

@@ -57,6 +57,7 @@ from repro.obs.report import (
     profile_report,
     rov_report,
     rtrd_report,
+    scheduler_report,
     serve_report,
     stage_timing_report,
     timing_summary,
@@ -137,6 +138,7 @@ __all__ = [
     "registry_to_wire",
     "reset_logging",
     "rtrd_report",
+    "scheduler_report",
     "scope",
     "serve_report",
     "stage_timing_report",

@@ -191,7 +191,9 @@ class TestExecutorPlumbing:
     def test_rejects_unknown_mode(self, study):
         with pytest.raises(ValueError):
             execute_study(study, workers=2, mode="fibers")
-        assert set(MODES) == {"auto", "serial", "thread", "process"}
+        assert set(MODES) == {
+            "auto", "serial", "thread", "process", "workers"
+        }
 
     def test_run_shard_records_only_its_share(self, study, small_world):
         shard = Shard(index=0, domains=tuple(small_world.ranking.top(10)))

@@ -147,7 +147,9 @@ class TestFaultPlan:
         for name in PROFILES:
             plan = FaultPlan.from_profile(name, seed=1)
             assert plan.active_kinds()
-            assert name in ("flaky", "degraded", "chaos")
+            assert name in (
+                "flaky", "degraded", "chaos", "unreliable-workers"
+            )
             assert "seed=1" in plan.describe()
 
 
