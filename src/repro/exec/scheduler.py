@@ -28,7 +28,11 @@ by shard index — first answer per shard wins, and because the same
 shard produces the same bytes on any worker and any attempt, the
 winner is irrelevant to the merged result.  Worker death (EOF) and
 protocol garbage (quarantine) follow the same re-dispatch path with
-the worker slot respawned.  Re-dispatch backoff reuses
+the worker slot respawned.  If *every* slot is overdue at once —
+a genuinely wedged fleet, e.g. ``--workers 1`` with a worker that
+never answers — the longest-overdue worker is force-replaced so the
+re-dispatched shards always find a live slot instead of the select
+loop blocking forever.  Re-dispatch backoff reuses
 :class:`repro.faults.RetryPolicy` in virtual time: the budget each
 straggler *would* have cost is accounted in the report, never slept.
 
@@ -493,10 +497,12 @@ class WorkerScheduler:
             report.dispatched += 1
             return True
 
-        def complete(state: _WorkerSlot, result: JobResult) -> None:
+        def release(state: _WorkerSlot, result: JobResult) -> None:
             if state.job is not None and state.job[3] == result.job_id:
                 state.job = None
                 state.overdue = False
+
+        def complete(state: _WorkerSlot, result: JobResult) -> None:
             shard_index = result.shard_index
             if shard_index not in by_index:
                 raise SchedulerError(
@@ -504,9 +510,15 @@ class WorkerScheduler:
                     f"{shard_index}"
                 )
             if shard_index not in pending:
+                release(state, result)
                 completions.offer(shard_index, None)  # counted duplicate
                 return
+            # Decode before releasing the slot: if the body violates
+            # the codec, the JobProtocolError must reach replace()
+            # with state.job still set so the in-flight shard is
+            # requeued rather than stranded in pending forever.
             outcome = result.to_outcome(by_index[shard_index])
+            release(state, result)
             completions.offer(shard_index, outcome)
             pending.discard(shard_index)
             report.completed += 1
@@ -537,9 +549,29 @@ class WorkerScheduler:
                     for state in slots
                     if state.job is not None and not state.overdue
                 ]
-                timeout = (
-                    max(0.0, min(busy) - time.monotonic()) if busy else None
-                )
+                if not busy:
+                    # Every in-flight job is overdue (an idle slot
+                    # would already have drained the urgent deque at
+                    # the loop top), so select would block forever on
+                    # workers that may never answer while the
+                    # re-dispatched shards sit unsendable.  Break the
+                    # wedge: kill the longest-overdue worker — its
+                    # shard was requeued when the deadline expired —
+                    # and let the respawn drain the urgent queue.
+                    wedged = min(
+                        (s for s in slots if s.job is not None),
+                        key=lambda s: s.job[2],
+                        default=None,
+                    )
+                    if wedged is None:
+                        raise SchedulerError(
+                            f"{len(pending)} shards pending with no "
+                            f"in-flight job and no queued work"
+                        )
+                    report.worker_deaths += 1
+                    replace(wedged, "wedged past deadline")
+                    continue
+                timeout = max(0.0, min(busy) - time.monotonic())
                 for key, _events in sel.select(timeout):
                     state = key.data
                     try:

@@ -48,7 +48,15 @@ GARBAGE_EXIT = 18
 
 # How far past the deadline an injected straggler sleeps: long enough
 # that the re-dispatched copy wins, short enough to keep tests quick.
+# Unlike the re-dispatch backoff (virtual time, never slept), a stall
+# is necessarily real wall clock — missing the deadline *is* the
+# fault — so the overshoot beyond the deadline is capped at an
+# absolute ceiling: with the default 30 s deadline a stall costs at
+# most deadline + STALL_OVERSHOOT_MAX_S, not 75 s.  Pair
+# ``unreliable-workers`` with a short ``--job-deadline`` to keep
+# stalls cheap.
 STALL_FACTOR = 2.5
+STALL_OVERSHOOT_MAX_S = 2.0
 
 
 def job_key(shard_index: int) -> str:
@@ -80,7 +88,10 @@ def _maybe_inject(spec: JobSpec, config, writer) -> None:
             if config.job_deadline_s is not None
             else DEFAULT_JOB_DEADLINE_S
         )
-        time.sleep(STALL_FACTOR * deadline)
+        time.sleep(min(
+            STALL_FACTOR * deadline,
+            deadline + STALL_OVERSHOOT_MAX_S,
+        ))
 
 
 def serve_stream(

@@ -300,6 +300,54 @@ class TestSchedulerQuarantine:
         assert report.redispatched >= report.quarantined
         assert fuzzed == serial
 
+    def test_undecodable_result_body_requeues_shard(
+        self, jobs_world, monkeypatch
+    ):
+        """A valid result frame whose body fails codec decoding must
+        quarantine the worker AND re-dispatch the in-flight shard —
+        not strand it in pending while the select loop blocks forever.
+        """
+        import dataclasses
+        import signal
+
+        from repro.exec import jobs as jobs_mod
+
+        real = jobs_mod.JobResult.from_outcome.__func__
+
+        def poisoned(cls, spec, worker_id, outcome):
+            result = real(cls, spec, worker_id, outcome)
+            if spec.shard_index == 0 and spec.attempt == 0:
+                # Structurally a fine frame; measurement count can
+                # never match the shard, so to_outcome() raises.
+                return dataclasses.replace(result, measurements=[])
+            return result
+
+        monkeypatch.setattr(
+            jobs_mod.JobResult, "from_outcome", classmethod(poisoned)
+        )
+
+        def wedged(signum, frame):
+            raise TimeoutError(
+                "scheduler hung: undecodable result stranded its shard"
+            )
+
+        previous = signal.signal(signal.SIGALRM, wedged)
+        signal.alarm(120)
+        try:
+            fuzzed = jobs_world.run(config=RunConfig(
+                workers=2, mode="workers", shard_size=24,
+                retry=RetryPolicy(max_attempts=3), job_deadline_s=30.0,
+            ))
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+        report = fuzzed.scheduler_report
+        assert report.quarantined >= 1
+        assert report.redispatched >= 1
+        assert report.respawns >= 1
+        assert report.completed == report.jobs_total
+        assert fuzzed == jobs_world.run(config=RunConfig())
+
     def test_quarantine_counters_reach_exported_metrics(self, jobs_world):
         from repro.obs.metrics import MetricsRegistry
 

@@ -151,6 +151,56 @@ class TestSchedulerAccounting:
         assert report.backoff_virtual_s > 0.0
         assert report.completed == report.jobs_total
 
+    def test_wedged_worker_is_force_replaced(self, diff_study, monkeypatch):
+        """A genuinely wedged worker must not block the run forever.
+
+        With ``--workers 1`` every slot going overdue used to leave
+        the select loop with no wakeup and the re-dispatched shard
+        unsendable; the scheduler now force-replaces the
+        longest-overdue worker so urgent work always finds a live
+        slot.
+        """
+        import signal
+        import time as time_mod
+
+        import repro.exec.worker as worker_mod
+
+        real_inject = worker_mod._maybe_inject
+
+        def wedge(spec, config, writer):
+            if spec.shard_index == 0 and spec.attempt == 0:
+                time_mod.sleep(300.0)  # never answers within the test
+            real_inject(spec, config, writer)
+
+        monkeypatch.setattr(worker_mod, "_maybe_inject", wedge)
+
+        def hung(signum, frame):
+            raise TimeoutError(
+                "scheduler blocked on a wedged single-worker fleet"
+            )
+
+        previous = signal.signal(signal.SIGALRM, hung)
+        signal.alarm(120)
+        try:
+            result = execute_study(diff_study, config=RunConfig(
+                workers=1, mode="workers", shard_size=SHARD_SIZE,
+                retry=RetryPolicy(max_attempts=3),
+                # Roomy enough that only the wedged shard ever trips
+                # it, small enough to keep the test quick.
+                job_deadline_s=1.0,
+            ))
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+        report = result.scheduler_report
+        assert report.worker_deaths >= 1
+        assert report.respawns >= 1
+        assert report.redispatched >= 1
+        assert report.completed == report.jobs_total
+        assert result == execute_study(
+            diff_study, config=make_config("serial", None)
+        )
+
     def test_duplicates_resolve_first_wins_by_shard_index(self):
         from repro.exec.scheduler import Completions
 
